@@ -1,0 +1,29 @@
+"""Paper-vs-measured reporting for the benchmark suite.
+
+Each bench calls :func:`record` with the rows it reproduced; the rows are
+printed (visible under ``pytest -s``) and appended to
+``benchmarks/results/<name>.txt`` so a ``--benchmark-only`` run leaves a
+browsable record of every table and figure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["record", "row"]
+
+
+def row(label: str, paper: object, measured: object) -> str:
+    """Format one paper-vs-measured line."""
+    return f"{label:<48s} paper={paper!s:<18s} measured={measured!s}"
+
+
+def record(name: str, title: str, lines: Iterable[str]) -> None:
+    """Write a bench's comparison block to disk and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n".join([title, "=" * len(title), *lines, ""])
+    (RESULTS_DIR / f"{name}.txt").write_text(body, encoding="utf-8")
+    print("\n" + body)

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+One full reproduction pipeline is run per session at bench scale; every
+table/figure bench reads from its report and re-times only its own
+analysis step.  A second, smaller world with the 42-user hateful core
+planted backs the §4.5 benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ReproductionPipeline
+from repro.platform.config import WorldConfig
+
+BENCH_SCALE = 0.01
+BENCH_SEED = 2020
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline():
+    """The session's main pipeline (crawled, un-analysed)."""
+    return ReproductionPipeline(WorldConfig(scale=BENCH_SCALE, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def bench_report(bench_pipeline):
+    """Full crawl + analyses at bench scale."""
+    return bench_pipeline.run()
+
+
+@pytest.fixture(scope="session")
+def core_pipeline():
+    """Pipeline over a world with the paper's 42-user core planted."""
+    return ReproductionPipeline(WorldConfig(
+        scale=0.006, seed=BENCH_SEED + 1,
+        planted_core_size=42, core_components=6, core_giant_size=32,
+    ))
+
+
+@pytest.fixture(scope="session")
+def core_report(core_pipeline):
+    return core_pipeline.run()

@@ -1,0 +1,81 @@
+"""E1/E2 — §6 future-work extensions: covert channels and the defense.
+
+The paper's conclusions name two directions it leaves open; both are
+implemented here and measured:
+
+* E1 — covert-channel candidates: comment threads anchored to strings
+  that cannot be public web content (file://, browser pages, fictitious
+  hosts), scored on the closed-conversation signature.
+* E2 — the pre-emptive content-owner defense: flooding one's own pages
+  with benign comments, swept over flood factors to expose the
+  cost/effect curve.
+"""
+
+from benchmarks._report import record, row
+from repro.core.covert import find_covert_channels
+from repro.core.defense import simulate_preemptive_defense
+
+
+def test_extension_covert_channels(benchmark, bench_report):
+    corpus = bench_report.corpus
+    analysis = benchmark.pedantic(
+        lambda: find_covert_channels(corpus), rounds=3, iterations=1
+    )
+
+    lines = [
+        row("crawled URLs scanned", "-", analysis.total_urls),
+        row("covert-channel candidates", "13 file:// + browser pages "
+            "(full scale)", analysis.candidate_count),
+        row("by reason", "-", analysis.by_reason()),
+        row("closed-conversation anchors", "future work",
+            len(analysis.closed_conversations())),
+    ]
+    record("extension_covert_channels", "E1 — covert-channel candidates",
+           lines)
+
+    # Non-network anchors only ever carry non-network schemes.
+    assert all(a.scheme not in ("http", "https") for a in analysis.anchors)
+    assert analysis.total_urls == len(corpus.urls)
+
+
+def test_extension_defense(benchmark, bench_report, bench_pipeline):
+    corpus = bench_report.corpus
+    models = bench_pipeline.models
+
+    # Defend the 50 most-commented URLs (the realistic scenario: an
+    # outlet defends its own popular pages).
+    by_url = corpus.comments_by_url()
+    targets = sorted(by_url, key=lambda k: -len(by_url[k]))[:50]
+
+    def sweep():
+        return {
+            factor: simulate_preemptive_defense(
+                corpus, target_urls=targets, flood_factor=factor,
+                models=models,
+            )
+            for factor in (0.5, 1.0, 2.0, 4.0)
+        }
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [row("URLs defended", "-", len(targets))]
+    for factor, outcome in sorted(outcomes.items()):
+        lines.append(row(
+            f"flood x{factor}: mean toxicity",
+            f"{outcome.mean_toxicity_before:.3f} before",
+            f"{outcome.mean_toxicity_after:.3f} "
+            f"({outcome.injected_comments} injected)",
+        ))
+    strongest = outcomes[4.0]
+    lines.append(row(
+        "first-screen toxic threads (x4 flood)",
+        f"{strongest.top_slot_toxic_before:.1%} before",
+        f"{strongest.top_slot_toxic_after:.1%} after",
+    ))
+    record("extension_defense", "E2 — pre-emptive owner defense", lines)
+
+    # Monotone: more flooding, less visible toxicity.
+    means = [outcomes[f].mean_toxicity_after for f in (0.5, 1.0, 2.0, 4.0)]
+    assert all(means[i] > means[i + 1] for i in range(len(means) - 1))
+    assert strongest.mean_toxicity_after < strongest.mean_toxicity_before
+    assert strongest.top_slot_toxic_after <= strongest.top_slot_toxic_before

@@ -1,0 +1,50 @@
+"""F5 — Figure 5: SEVERE_TOXICITY vs URL net vote score.
+
+Regenerates the per-URL (net votes, mean/median toxicity) scatter and its
+bucketed aggregates.  The paper's shape: the zero-vote peak carries the
+highest toxicity, decaying as |net| grows, with negative-net URLs above
+positive-net ones.
+"""
+
+import numpy as np
+
+from benchmarks._report import record, row
+from repro.core.votes import analyze_votes
+
+
+def test_fig5_votes_toxicity(benchmark, bench_report, bench_pipeline):
+    corpus = bench_report.corpus
+    models = bench_pipeline.models
+    votes = benchmark.pedantic(
+        lambda: analyze_votes(corpus, models), rounds=1, iterations=1
+    )
+
+    zero_mean = votes.bucket_means.get(0, float("nan"))
+    small = votes.aggregate_mean([-2, -1, 1, 2])
+    decisive = votes.aggregate_mean(
+        [n for n in votes.bucket_means if abs(n) >= 4]
+    )
+    # Negative-vs-positive comparison is URL-weighted (sparse extreme
+    # buckets would otherwise dominate an unweighted bucket average).
+    negative = float(votes.mean_toxicity[votes.net_scores < 0].mean())
+    positive = float(votes.mean_toxicity[votes.net_scores > 0].mean())
+
+    lines = [
+        row("URLs with votes (+/0/-)", "104k / 420k / 64k",
+            f"{votes.positive_urls} / {votes.zero_urls} / {votes.negative_urls}"),
+        row("|net| < 10 share", "99%", f"{votes.in_band_fraction:.1%}"),
+        row("mean toxicity @ net=0", "peak of figure", f"{zero_mean:.3f}"),
+        row("mean toxicity @ |net| in 1-2", "below peak", f"{small:.3f}"),
+        row("mean toxicity @ |net| >= 4", "lowest", f"{decisive:.3f}"),
+        row("negative-net mean", "> positive-net mean", f"{negative:.3f}"),
+        row("positive-net mean", "-", f"{positive:.3f}"),
+    ]
+    record("fig5_votes_toxicity", "Figure 5 — toxicity vs net votes", lines)
+
+    assert votes.zero_urls > votes.positive_urls > votes.negative_urls
+    assert votes.in_band_fraction > 0.9
+    assert zero_mean > small
+    if not np.isnan(decisive):
+        assert zero_mean > decisive
+    if not (np.isnan(negative) or np.isnan(positive)):
+        assert negative > positive

@@ -1,0 +1,38 @@
+"""F6 — Figure 6: ratio of Dissenter to Reddit post counts.
+
+Regenerates the per-user d/(d+r) CDF over username-matched accounts with
+activity on at least one platform.  Anchors: more than a third post only
+on Dissenter (ratio = 1); about 20% only on Reddit (ratio = 0); the middle
+is spread.
+"""
+
+import numpy as np
+
+from benchmarks._report import record, row
+from repro.core.relative import comment_ratios
+
+
+def test_fig6_comment_ratio(benchmark, bench_report):
+    corpus = bench_report.corpus
+    reddit = bench_report.reddit_match
+    analysis = benchmark.pedantic(
+        lambda: comment_ratios(corpus, reddit), rounds=3, iterations=1
+    )
+
+    ecdf = analysis.ecdf()
+    lines = [
+        row("ratio-defined users", "31k (full scale)", analysis.n_users),
+        row("Dissenter-exclusive (ratio=1)", "> 1/3",
+            f"{analysis.dissenter_exclusive:.1%}"),
+        row("Reddit-exclusive (ratio=0)", "~20%",
+            f"{analysis.reddit_exclusive:.1%}"),
+        row("median ratio", "roughly even split", f"{ecdf.quantile(0.5):.2f}"),
+    ]
+    record("fig6_comment_ratio", "Figure 6 — Dissenter/Reddit comment ratio",
+           lines)
+
+    assert analysis.dissenter_exclusive > 0.30
+    assert 0.08 < analysis.reddit_exclusive < 0.35
+    assert analysis.dissenter_exclusive > analysis.reddit_exclusive
+    # Roughly even split around the middle of the scale.
+    assert 0.25 < float(np.mean(analysis.ratios >= 0.5)) < 0.85

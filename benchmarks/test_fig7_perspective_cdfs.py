@@ -1,0 +1,79 @@
+"""F7 — Figures 7a/7b/7c: Perspective score CDFs across four datasets.
+
+Regenerates the Dissenter / Reddit / NY Times / Daily Mail comparison on
+LIKELY_TO_REJECT, SEVERE_TOXICITY, and ATTACK_ON_AUTHOR.  Anchors:
+
+* 7a: >75% of Dissenter comments score >= 0.5 LIKELY_TO_REJECT, 50%
+  >= 0.75; Dissenter dominates every other dataset; Daily Mail > Reddit >
+  NY Times.
+* 7b: ~20% of Dissenter comments >= 0.5 SEVERE_TOXICITY, about double
+  Reddit; NY Times lowest.
+* 7c: ATTACK_ON_AUTHOR broadly similar across datasets.
+"""
+
+import numpy as np
+
+from benchmarks._report import record, row
+
+
+def test_fig7_perspective_cdfs(benchmark, bench_report):
+    relative = bench_report.relative
+
+    def quantile_grid():
+        grid = {}
+        for attribute in relative.scores:
+            for dataset in relative.datasets():
+                grid[(attribute, dataset)] = (
+                    relative.exceed_fraction(attribute, dataset, 0.5),
+                    relative.exceed_fraction(attribute, dataset, 0.75),
+                )
+        return grid
+
+    grid = benchmark.pedantic(quantile_grid, rounds=3, iterations=1)
+
+    lines = []
+    paper_anchor = {
+        ("LIKELY_TO_REJECT", "dissenter"): ">0.75 / 0.50",
+        ("SEVERE_TOXICITY", "dissenter"): "0.20 / 0.10",
+        ("SEVERE_TOXICITY", "reddit"): "~0.10 / -",
+    }
+    for (attribute, dataset), (p50, p75) in sorted(grid.items()):
+        anchor = paper_anchor.get((attribute, dataset), "-")
+        lines.append(row(
+            f"{attribute} [{dataset}] P>=0.5 / P>=0.75", anchor,
+            f"{p50:.2f} / {p75:.2f}",
+        ))
+    record("fig7_perspective_cdfs", "Figure 7 — cross-platform score CDFs",
+           lines)
+
+    # 7a: Dissenter most likely-to-reject, paper quantiles.
+    d_reject = grid[("LIKELY_TO_REJECT", "dissenter")]
+    assert d_reject[0] > 0.65
+    assert d_reject[1] > 0.40
+    for other in ("reddit", "nytimes", "dailymail"):
+        assert d_reject[0] > grid[("LIKELY_TO_REJECT", other)][0]
+    # 7a ordering of baselines: Daily Mail > Reddit > NY Times.
+    assert (
+        grid[("LIKELY_TO_REJECT", "dailymail")][0]
+        > grid[("LIKELY_TO_REJECT", "nytimes")][0]
+    )
+    assert (
+        grid[("LIKELY_TO_REJECT", "reddit")][0]
+        > grid[("LIKELY_TO_REJECT", "nytimes")][0]
+    )
+
+    # 7b: Dissenter ~2x Reddit; NY Times lowest.
+    d_tox = grid[("SEVERE_TOXICITY", "dissenter")][0]
+    r_tox = grid[("SEVERE_TOXICITY", "reddit")][0]
+    assert 0.10 < d_tox < 0.35
+    assert d_tox > 1.3 * max(r_tox, 0.01)
+    assert grid[("SEVERE_TOXICITY", "nytimes")][0] <= min(
+        d_tox, r_tox, grid[("SEVERE_TOXICITY", "dailymail")][0]
+    )
+
+    # 7c: attack-on-author similar across datasets.
+    attack_medians = [
+        float(np.median(relative.scores["ATTACK_ON_AUTHOR"][name]))
+        for name in relative.datasets()
+    ]
+    assert max(attack_medians) - min(attack_medians) < 0.25

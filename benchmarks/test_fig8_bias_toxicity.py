@@ -1,0 +1,64 @@
+"""F8 — Figures 8a/8b: Perspective scores by Allsides URL bias.
+
+Regenerates the per-bias SEVERE_TOXICITY box data (8a) and the
+ATTACK_ON_AUTHOR CDFs (8b), plus the paper's pairwise KS significance
+checks.  Anchors: toxicity highest toward the centre and lowest on
+right-leaning URLs; attack-on-author highest on left-leaning URLs and
+decreasing rightward.
+"""
+
+import numpy as np
+
+from benchmarks._report import record, row
+from repro.core.bias import BIAS_CATEGORIES, analyze_bias
+
+
+def test_fig8_bias_toxicity(benchmark, bench_report, bench_pipeline):
+    corpus = bench_report.corpus
+    models = bench_pipeline.models
+    bias = benchmark.pedantic(
+        lambda: analyze_bias(corpus, models), rounds=1, iterations=1
+    )
+
+    lines = []
+    for category in BIAS_CATEGORIES:
+        med = bias.median_toxicity(category)
+        atk = bias.mean_attack(category)
+        n = bias.comment_counts.get(category, 0)
+        lines.append(row(
+            f"{category} (n={n})", "-",
+            f"tox median {med:.3f} | attack mean {atk:.3f}",
+        ))
+    significant = sum(
+        1 for r in bias.ks_toxicity.values() if r.significant(0.01)
+    )
+    lines.append(row(
+        "KS pairs significant at p<0.01 (toxicity)", "all pairs",
+        f"{significant}/{len(bias.ks_toxicity)}",
+    ))
+    record("fig8_bias_toxicity", "Figure 8 — scores by Allsides bias", lines)
+
+    # 8a: right-leaning lowest toxicity; centre above right.
+    center = bias.median_toxicity("center")
+    right = bias.median_toxicity("right")
+    assert not np.isnan(center) and not np.isnan(right)
+    assert center > right
+    # 8b: attack decreases monotonically from left to right.
+    attack_path = [
+        bias.mean_attack(c)
+        for c in ("left", "left-center", "center", "right-center", "right")
+    ]
+    attack_path = [a for a in attack_path if not np.isnan(a)]
+    assert attack_path[0] > attack_path[-1]
+    assert all(
+        attack_path[i] >= attack_path[i + 1] - 0.03
+        for i in range(len(attack_path) - 1)
+    )
+    # Most comments land on unranked URLs (~1M of 1.68M in the paper).
+    assert bias.ranked_comment_counts()[0][0] == "not-ranked"
+    # Large-sample KS pairs detect the bias-conditioned differences.
+    big = [
+        r for r in bias.ks_toxicity.values() if min(r.n1, r.n2) > 500
+    ]
+    if big:
+        assert any(r.significant(0.01) for r in big)

@@ -1,0 +1,62 @@
+"""HC — §4.5.1: the hateful core.
+
+Regenerates the paper's mutual-follower / >=100 comments / median toxicity
+>= 0.3 extraction on a world with the core planted at the paper's size:
+42 users, 6 connected components, a 32-user giant component.
+"""
+
+from benchmarks._report import record, row
+from repro.core.socialnet import extract_hateful_core
+
+
+def test_hateful_core(benchmark, core_report, core_pipeline):
+    import numpy as np
+
+    # Rebuild the inputs the pipeline used, then re-time the extraction.
+    corpus = core_report.corpus
+    by_author = corpus.comments_by_author()
+    author_by_username = {
+        u.username: u.author_id for u in corpus.users.values()
+    }
+    gab_ids = {
+        a.username: a.gab_id for a in core_report.gab_enumeration.accounts
+    }
+    counts, tox = {}, {}
+    models = core_pipeline.models
+    for username, gab_id in gab_ids.items():
+        author = author_by_username.get(username)
+        if author is None:
+            continue
+        comments = by_author.get(author, [])
+        counts[gab_id] = len(comments)
+        if comments:
+            tox[gab_id] = float(np.median([
+                models.score(c.text)["SEVERE_TOXICITY"]
+                for c in comments[:200]
+            ]))
+
+    # The graph lives in the already-computed report.
+    core = core_report.hateful_core
+
+    benchmark.pedantic(
+        lambda: extract_hateful_core(
+            core.subgraph.to_directed(), counts, tox
+        ),
+        rounds=1, iterations=1,
+    )
+
+    lines = [
+        row("core size", 42, core.size),
+        row("connected components", 6, core.n_components),
+        row("giant component", 32, core.giant_size),
+        row("qualifying users (activity+toxicity)", "-",
+            core.qualifying_users),
+        row("component sizes", "[32, 2, 2, 2, 2, 2]",
+            core.component_sizes),
+    ]
+    record("hateful_core", "§4.5.1 — the hateful core", lines)
+
+    assert 36 <= core.size <= 50
+    assert 4 <= core.n_components <= 9
+    assert core.giant_size >= 28
+    assert core.component_sizes[0] == core.giant_size

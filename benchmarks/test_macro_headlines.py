@@ -1,0 +1,63 @@
+"""M1 — §4.1/§4.2 headline numbers.
+
+Regenerates the macro census: user/comment/URL counts (scaled), 47% active
+users, 77% first-month joiners, orphaned commenters, 25% censorship bios,
+NSFW/offensive shadow counts, and the 94%/2% language mix.
+"""
+
+from benchmarks._report import record, row
+from repro.core.macro import compute_headlines
+
+
+def test_macro_headlines(benchmark, bench_report, bench_pipeline):
+    corpus = bench_report.corpus
+    config = bench_pipeline.world.config
+
+    headlines = benchmark.pedantic(
+        lambda: compute_headlines(corpus, config.epoch_dissenter),
+        rounds=3, iterations=1,
+    )
+    scale = config.scale
+
+    lines = [
+        row("Dissenter users", f"{int(101_000 * scale):,} (scaled)",
+            f"{headlines.total_users:,}"),
+        row("comments + replies", f"{int(1_680_000 * scale):,} (scaled)",
+            f"{headlines.total_comments:,}"),
+        row("distinct URLs crawled", f"<= {int(588_000 * scale):,} (scaled)",
+            f"{headlines.distinct_urls:,}"),
+        row("active-user fraction", "47%",
+            f"{headlines.active_fraction:.1%}"),
+        row("first-month join fraction", "77%",
+            f"{headlines.first_month_join_fraction:.1%}"),
+        row("orphaned commenters", f"{int(1_300 * scale)} (scaled)",
+            headlines.orphaned_commenters),
+        row("censorship in bio", "25%",
+            f"{headlines.censorship_bio_fraction:.1%}"),
+        row("NSFW comments", f"{int(10_000 * scale)} (scaled)",
+            headlines.nsfw_comments),
+        row("offensive comments", f"{int(8_000 * scale)} (scaled)",
+            headlines.offensive_comments),
+        row("English comments", "94%",
+            f"{bench_report.languages.fraction('en'):.1%}"),
+        row("German comments", "2%",
+            f"{bench_report.languages.fraction('de'):.1%}"),
+    ]
+    record("macro_headlines", "§4 — headline numbers", lines)
+
+    assert 0.38 < headlines.active_fraction < 0.58
+    assert 0.60 < headlines.first_month_join_fraction < 0.90
+    assert headlines.orphaned_commenters >= 1
+    assert 0.15 < headlines.censorship_bio_fraction < 0.35
+    assert headlines.nsfw_comments > 0 and headlines.offensive_comments > 0
+    shadow_total = headlines.nsfw_comments + headlines.offensive_comments
+    # Combined shadow share near the paper's ~1.1%.
+    assert 0.004 < shadow_total / headlines.total_comments < 0.022
+    assert bench_report.languages.fraction("en") > 0.85
+    assert bench_report.languages.counts.get("de", 0) > 0
+    # Population sizes within 35% of the scaled paper numbers.
+    assert abs(headlines.total_users - 101_000 * scale) < 0.35 * 101_000 * scale
+    assert (
+        abs(headlines.total_comments - 1_680_000 * scale)
+        < 0.5 * 1_680_000 * scale
+    )

@@ -1,0 +1,54 @@
+"""T1 — Table 1: user attribute flags and comment view-filters.
+
+Regenerates the flag/filter frequency table over active users and checks
+the headline proportions: capability flags near-universal, exactly two
+admins and zero moderators, NSFW filter ~15%, offensive filter ~7%.
+"""
+
+from benchmarks._report import record, row
+from repro.core.macro import user_table
+
+PAPER = {
+    "canLogin": 0.9997, "canPost": 0.9997, "canReport": 0.9999,
+    "canChat": 0.9997, "canVote": 0.9997,
+    "is_pro": 0.0267, "is_donor": 0.0084, "is_investor": 0.0029,
+    "is_premium": 0.0013, "is_tippable": 0.0015, "is_private": 0.0390,
+    "verified": 0.0103,
+}
+PAPER_FILTERS = {
+    "pro": 0.9985, "verified": 0.9987, "standard": 0.9989,
+    "nsfw": 0.1504, "offensive": 0.0733,
+}
+
+
+def test_table1_user_flags(benchmark, bench_report):
+    corpus = bench_report.corpus
+    stats = benchmark.pedantic(
+        lambda: user_table(corpus), rounds=3, iterations=1
+    )
+
+    lines = [row("active users (n)", "47,165", stats.n_active)]
+    for name, paper_value in PAPER.items():
+        lines.append(row(
+            f"flag {name}", f"{paper_value:.2%}",
+            f"{stats.flag_fraction(name):.2%}",
+        ))
+    for name, paper_value in PAPER_FILTERS.items():
+        lines.append(row(
+            f"filter {name}", f"{paper_value:.2%}",
+            f"{stats.filter_fraction(name):.2%}",
+        ))
+    lines.append(row("isAdmin (count)", 2, stats.flag_counts.get("isAdmin", 0)))
+    lines.append(row(
+        "isModerator (count)", 0, stats.flag_counts.get("isModerator", 0)
+    ))
+    record("table1_user_flags", "Table 1 — user flags & view filters", lines)
+
+    # Shape assertions.
+    for name in ("canLogin", "canPost", "canReport", "canChat", "canVote"):
+        assert stats.flag_fraction(name) > 0.98
+    assert stats.flag_counts.get("isModerator", 0) == 0
+    assert stats.flag_counts.get("isAdmin", 0) <= 2
+    assert 0.10 < stats.filter_fraction("nsfw") < 0.20
+    assert 0.04 < stats.filter_fraction("offensive") < 0.11
+    assert stats.filter_fraction("nsfw") > stats.filter_fraction("offensive")

@@ -1,0 +1,65 @@
+"""T2 — Table 2: most frequently commented TLDs and domains.
+
+Regenerates the TLD and second-level-domain rankings over the crawled URL
+corpus, plus the §4.2.1 anomaly census (scheme mix, duplicates, fringe
+per-URL volumes).
+"""
+
+from benchmarks._report import record, row
+from repro.core.urls import analyze_urls
+
+PAPER_TLDS = {".com": 0.7757, ".uk": 0.0745, ".org": 0.0332, ".de": 0.0175}
+PAPER_DOMAINS = {
+    "youtube.com": 0.2075, "twitter.com": 0.0687, "breitbart.com": 0.0403,
+    "bbc.co.uk": 0.0276, "dailymail.co.uk": 0.0268, "foxnews.com": 0.0208,
+}
+
+
+def test_table2_tlds_domains(benchmark, bench_report):
+    corpus = bench_report.corpus
+    stats = benchmark.pedantic(
+        lambda: analyze_urls(corpus), rounds=3, iterations=1
+    )
+
+    lines = [row("distinct URLs", "587,735", stats.total_urls)]
+    for tld, paper_value in PAPER_TLDS.items():
+        lines.append(row(
+            f"TLD {tld}", f"{paper_value:.2%}", f"{stats.tld_fraction(tld):.2%}"
+        ))
+    for domain, paper_value in PAPER_DOMAINS.items():
+        lines.append(row(
+            f"domain {domain}", f"{paper_value:.2%}",
+            f"{stats.domain_fraction(domain):.2%}",
+        ))
+    https = stats.scheme_counts.get("https", 0) / stats.total_urls
+    http = stats.scheme_counts.get("http", 0) / stats.total_urls
+    lines.append(row("HTTPS share", "97%", f"{https:.1%}"))
+    lines.append(row("HTTP share", "2%", f"{http:.1%}"))
+    lines.append(row(
+        "file:// URLs", "13 (full scale)", stats.scheme_counts.get("file", 0)
+    ))
+    lines.append(row("protocol-only duplicates", "400 (full scale)",
+                     stats.protocol_duplicates))
+    lines.append(row("trailing-slash duplicates", "60 (full scale)",
+                     stats.trailing_slash_duplicates))
+    top_vol, top_url = stats.top_volume_urls[0]
+    lines.append(row("max per-URL volume", "116 (thewatcherfiles)",
+                     f"{top_vol} ({top_url[:40]})"))
+    lines.append(row("youtube.com median volume", "1",
+                     stats.median_volume_by_domain.get("youtube.com")))
+    record("table2_tlds_domains", "Table 2 — TLDs & domains", lines)
+
+    # Shape assertions: ordering and rough magnitudes.
+    assert stats.top_domains(1)[0][0] == "youtube.com"
+    assert stats.tld_fraction(".com") > 0.6
+    assert stats.tld_fraction(".com") > stats.tld_fraction(".uk") > 0
+    assert stats.domain_fraction("youtube.com") > stats.domain_fraction(
+        "twitter.com"
+    )
+    assert https > 0.9 > http
+    assert stats.median_volume_by_domain.get("youtube.com", 99) <= 2
+    fringe_vol = max(
+        stats.median_volume_by_domain.get("thewatcherfiles.com", 0),
+        stats.median_volume_by_domain.get("deutschland.de", 0),
+    )
+    assert fringe_vol > 20

@@ -1,0 +1,44 @@
+"""T3 — Table 3: overview of the baseline toxicity datasets.
+
+Regenerates the corpus-size table (NY Times / Daily Mail / Reddit) and the
+Dissenter-matched Reddit commenter count.  Counts are at world scale; the
+*orderings* (Daily Mail > Reddit > NY Times; matched commenters < matched
+users) are the reproduction targets.
+"""
+
+from benchmarks._report import record, row
+from repro.core.relative import baseline_overview
+
+
+def test_table3_baselines(benchmark, bench_report, bench_pipeline):
+    reddit = bench_report.reddit_match
+    news = bench_pipeline.world.news
+
+    overview = benchmark.pedantic(
+        lambda: baseline_overview(
+            reddit,
+            nytimes_count=news.nominal_counts["nytimes"],
+            dailymail_count=news.nominal_counts["dailymail"],
+        ),
+        rounds=3, iterations=1,
+    )
+
+    scale = bench_pipeline.world.config.scale
+    lines = [
+        row("NY Times comments", f"{int(4_995_119 * scale):,} (scaled)",
+            f"{overview.nytimes_comments:,}"),
+        row("Daily Mail comments", f"{int(14_287_096 * scale):,} (scaled)",
+            f"{overview.dailymail_comments:,}"),
+        row("Reddit comments", f"{int(13_051_561 * scale):,} (scaled)",
+            f"{overview.reddit_comments:,}"),
+        row("matched Reddit users", "56% of usernames",
+            f"{overview.reddit_matched_users:,}"),
+        row("matched Reddit commenters", "35,718 (full scale)",
+            f"{overview.reddit_matched_commenters:,}"),
+    ]
+    record("table3_baselines", "Table 3 — baseline datasets", lines)
+
+    assert overview.dailymail_comments > overview.nytimes_comments
+    assert overview.reddit_matched_commenters <= overview.reddit_matched_users
+    match_rate = overview.reddit_matched_users / len(bench_report.corpus.users)
+    assert 0.45 < match_rate < 0.65          # paper: 56%

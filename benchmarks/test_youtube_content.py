@@ -1,0 +1,50 @@
+"""M3 — §4.2.2: YouTube content analysis.
+
+Regenerates the render-crawl census: kind breakdown (videos dominate),
+availability (generic-unavailable / private / terminated / hate-policy
+removals), the Fox News vs CNN ownership comparison, and the >10%
+comments-disabled observation that motivates Dissenter's existence.
+"""
+
+from benchmarks._report import record, row
+from repro.core.youtube import analyze_youtube
+
+
+def test_youtube_content(benchmark, bench_report):
+    crawl = bench_report.youtube_crawl
+    corpus = bench_report.corpus
+
+    analysis = benchmark.pedantic(
+        lambda: analyze_youtube(crawl, corpus), rounds=3, iterations=1
+    )
+
+    total_videos = max(1, sum(analysis.status_counts.values()))
+    gone = analysis.unavailable_videos
+    lines = [
+        row("YouTube URLs in corpus", "128k / 588k (21.8%)",
+            f"{analysis.total_items} ({analysis.youtube_url_fraction_of_corpus:.1%})"),
+        row("kinds (video/channel/user)", "125k / 2k / 1k",
+            (analysis.kind_counts.get('video', 0),
+             analysis.kind_counts.get('channel', 0),
+             analysis.kind_counts.get('user', 0))),
+        row("active videos", "109k of 125k",
+            f"{analysis.active_videos} of {total_videos}"),
+        row("unavailable share", "~12.5%", f"{gone / total_videos:.1%}"),
+        row("status census", "unavail/private/terminated/hate",
+            {k: v for k, v in analysis.status_counts.items() if k != 'OK'}),
+        row("Fox News share of videos", "2.4%",
+            f"{analysis.owner_share('Fox News'):.2%}"),
+        row("CNN share of videos", "0.6%",
+            f"{analysis.owner_share('CNN'):.2%}"),
+        row("comments disabled", ">10% of active",
+            f"{analysis.comments_disabled_fraction:.1%}"),
+    ]
+    record("youtube_content", "§4.2.2 — YouTube content", lines)
+
+    kinds = analysis.kind_counts
+    assert kinds.get("video", 0) > kinds.get("channel", 0) >= 0
+    assert kinds.get("video", 0) > kinds.get("user", 0) >= 0
+    assert 0.03 < gone / total_videos < 0.30
+    assert analysis.owner_share("Fox News") >= analysis.owner_share("CNN")
+    assert 0.03 < analysis.comments_disabled_fraction < 0.25
+    assert 0.12 < analysis.youtube_url_fraction_of_corpus < 0.33

@@ -1,0 +1,96 @@
+"""Classifier comparison: dictionary vs Perspective vs SVM (§3.5).
+
+Run with::
+
+    python examples/classifier_comparison.py
+
+The paper scores every comment with three independent methods to bound
+its toxicity estimates.  This example trains the SVM pipeline (with
+ADASYN and grid search, reporting 5-fold CV F1), scores a crawled comment
+sample with all three classifiers, and prints their agreement and the
+instructive disagreement cases — including the dictionary's documented
+false-positive modes ("queen", "pig", substring traps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nlp import (
+    CommentClassifier,
+    HateDictionary,
+    build_davidson_style_corpus,
+)
+from repro.perspective import PerspectiveModels
+from repro.platform import WorldConfig, build_world
+
+
+def main() -> None:
+    print("training the SVM pipeline (ADASYN + grid search + 5-fold CV)...")
+    corpus = build_davidson_style_corpus(scale=0.04)
+    classifier = CommentClassifier(
+        max_features=1200,
+        n_folds=5,
+        param_grid={"regularization": (1e-3, 1e-4), "epochs": (8,)},
+        seed=0,
+    )
+    trained = classifier.train(corpus)
+    print(f"  corpus: {len(corpus)} examples {corpus.class_counts()}")
+    print(f"  best params: {trained.best_params}")
+    print(f"  5-fold CV weighted F1: {trained.cv_f1:.3f}   (paper: 0.87)")
+
+    print("\nscoring a crawled comment sample with all three methods...")
+    world = build_world(WorldConfig(scale=0.004, seed=1))
+    comments = [c.text for c in world.dissenter.comments[:2500]]
+    dictionary = HateDictionary()
+    models = PerspectiveModels()
+
+    dict_scores = dictionary.score_many(comments)
+    perspective = np.asarray(
+        [models.score(t)["SEVERE_TOXICITY"] for t in comments]
+    )
+    svm = np.asarray([1.0 - p.neither for p in trained.predict_proba(comments)])
+
+    def rank_corr(a, b):
+        ra, rb = np.argsort(np.argsort(a)), np.argsort(np.argsort(b))
+        return float(np.corrcoef(ra, rb)[0, 1])
+
+    print(f"  rank corr dictionary ~ Perspective: "
+          f"{rank_corr(dict_scores, perspective):.3f}")
+    print(f"  rank corr dictionary ~ SVM:         "
+          f"{rank_corr(dict_scores, svm):.3f}")
+    print(f"  rank corr Perspective ~ SVM:        "
+          f"{rank_corr(perspective, svm):.3f}")
+
+    print("\nthe dictionary's documented failure modes (§3.5.1):")
+    for text in (
+        "the queen visited a pig farm today",
+        "I am travelling to zekistan next month",
+    ):
+        score = dictionary.score(text)
+        p = models.score(text)["SEVERE_TOXICITY"]
+        print(f"  {text!r}")
+        print(f"    dictionary ratio {score.ratio:.2f} "
+              f"(matches: {list(score.matches)}) vs Perspective {p:.2f}")
+
+    substring = HateDictionary(substring_matching=True)
+    trap = "I am travelling to zekistan next month"
+    print(f"  with substring matching enabled: "
+          f"{list(substring.score(trap).matches)} "
+          f"(the paper's Pakistan/'paki' trap)")
+
+    print("\ndisagreement census on the sample:")
+    flagged = perspective > 0.5
+    blind = float(np.mean(dict_scores[flagged] == 0)) if flagged.any() else 0.0
+    print(f"  Perspective-flagged comments invisible to the dictionary: "
+          f"{blind:.1%}")
+    hot_dict = dict_scores > 0.15
+    cold_persp = float(
+        np.mean(perspective[hot_dict] < 0.3)
+    ) if hot_dict.any() else 0.0
+    print(f"  dictionary-hot comments Perspective considers mild: "
+          f"{cold_persp:.1%}  (ambiguous-term false positives)")
+
+
+if __name__ == "__main__":
+    main()

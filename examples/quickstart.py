@@ -1,0 +1,59 @@
+"""Quickstart: build a synthetic Dissenter world and crawl it over HTTP.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a small world (a scaled-down Gab + Dissenter universe), stands up
+its HTTP origins on the in-memory transport, enumerates Gab's account API,
+detects Dissenter users by response size, spiders their comment pages, and
+prints what the crawl recovered.
+"""
+
+from __future__ import annotations
+
+from repro.crawler import DissenterCrawler, GabEnumerator
+from repro.net import HttpClient
+from repro.platform import WorldConfig, build_world
+from repro.platform.apps import build_origins
+
+
+def main() -> None:
+    # 1. A deterministic world: ~2.6k Gab accounts, ~200 Dissenter users.
+    config = WorldConfig(scale=0.002, seed=7)
+    world = build_world(config)
+    print("world:", world.summary())
+
+    # 2. HTTP origins on a loopback transport with a virtual clock.
+    origins = build_origins(world)
+    client = HttpClient(origins.transport)
+
+    # 3. Enumerate Gab's integer ID space through its JSON API (§3.1).
+    enumeration = GabEnumerator(client).enumerate(max_id=world.gab.max_id)
+    print(f"enumerated {len(enumeration.accounts)} Gab accounts "
+          f"({enumeration.ids_probed} IDs probed)")
+
+    # 4. Detect Dissenter accounts by home-page response size (§3.1).
+    crawler = DissenterCrawler(client)
+    detected = crawler.detect_accounts(enumeration.usernames())
+    print(f"detected {len(detected)} Dissenter accounts by response size")
+
+    # 5. Spider home pages and comment pages (§3.2).
+    corpus = crawler.crawl(detected)
+    print("crawl recovered:", corpus.summary())
+
+    # 6. A taste of the data.
+    user = corpus.active_users()[0]
+    print(f"\nexample user @{user.username}: "
+          f"joined {user.created_at} (decoded from author-id), "
+          f"{len(user.commented_url_ids)} URLs commented")
+    comment = next(iter(corpus.comments.values()))
+    print(f"example comment: {comment.text[:80]!r}")
+
+    print(f"\nHTTP requests issued: {client.stats.requests}, "
+          f"bytes received: {client.stats.bytes_received:,}, "
+          f"simulated seconds: {origins.clock.now() - 1_550_000_000:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Reproduction of "Reading In-Between the Lines: An Analysis of Dissenter".
+
+Rye, Blackburn, Beverly — IMC 2020 (arXiv:2009.01772).
+
+The studied platform is defunct, so this library pairs a faithful
+synthetic Gab + Dissenter world (served over an in-memory HTTP substrate)
+with a complete re-implementation of the paper's measurement stack:
+
+``repro.platform``
+    The world generator: Gab accounts and their ID counter, Dissenter
+    users/comments/votes/shadow content, the follower graph, YouTube,
+    Reddit and news-site baselines — plus the HTTP origins serving it.
+``repro.net``
+    The wire: HTTP message model, loopback transport with virtual clock
+    and fault injection, routing, client retries, rate limiting.
+``repro.crawler``
+    The paper's §3 methodology: Gab ID enumeration, response-size account
+    detection, comment spidering, authenticated shadow re-crawls, YouTube
+    render crawling, paginated social-graph crawling, Reddit matching,
+    checkpointing and validation.
+``repro.nlp``
+    From-scratch NLP: tokeniser, Porter stemmer, hate dictionary,
+    language identification, TF-IDF, ADASYN, linear SVM, model selection.
+``repro.perspective``
+    A local, API-shaped stand-in for Google's Perspective models.
+``repro.stats``
+    ECDFs, concentration measures, discrete power-law fits, KS tests.
+``repro.core``
+    The §4 analyses: one module per table/figure, plus the end-to-end
+    :class:`~repro.core.pipeline.ReproductionPipeline`.
+
+Quickstart::
+
+    from repro.core import ReproductionPipeline
+    from repro.platform import WorldConfig
+
+    report = ReproductionPipeline(WorldConfig(scale=0.005, seed=42)).run()
+    print(report.headlines)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

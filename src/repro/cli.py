@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``run``
+    Build a world, run the full crawl + analyses, print the paper-style
+    report (optionally write crawl checkpoint and report files).
+``crawl``
+    Run only the collection stages and write a crawl checkpoint.
+``score``
+    Score text (stdin or arguments) with the dictionary, the Perspective
+    models, and optionally the SVM classifier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.pipeline import ReproductionPipeline
+from repro.core.report import render_full_report
+from repro.crawler.checkpoint import dump_result
+from repro.nlp.dictionary import HateDictionary
+from repro.perspective.models import PerspectiveModels
+from repro.platform.config import WorldConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Reading In-Between the Lines: An Analysis "
+            "of Dissenter' (IMC 2020)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="full crawl + analyses + report")
+    run.add_argument("--scale", type=float, default=0.005,
+                     help="world scale (1.0 = the paper's sizes)")
+    run.add_argument("--seed", type=int, default=42, help="world seed")
+    run.add_argument("--core", action="store_true",
+                     help="plant the 42-user hateful core")
+    run.add_argument("--checkpoint", type=Path, default=None,
+                     help="write the crawl corpus to this JSON file")
+    run.add_argument("--report", type=Path, default=None,
+                     help="write the text report to this file")
+
+    crawl = sub.add_parser("crawl", help="collection stages only")
+    crawl.add_argument("--scale", type=float, default=0.005)
+    crawl.add_argument("--seed", type=int, default=42)
+    crawl.add_argument("--out", type=Path, required=True,
+                       help="checkpoint file to write")
+    crawl.add_argument("--with-faults", action="store_true",
+                       help="inject transport faults (exercises retries)")
+
+    score = sub.add_parser("score", help="score comment text")
+    score.add_argument("text", nargs="*", help="comment text (default: stdin)")
+
+    figures = sub.add_parser("figures", help="render the paper's figures as SVG")
+    figures.add_argument("--scale", type=float, default=0.004)
+    figures.add_argument("--seed", type=int, default=42)
+    figures.add_argument("--out", type=Path, default=Path("figures"),
+                         help="output directory for the SVG files")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> WorldConfig:
+    kwargs: dict = {"scale": args.scale, "seed": args.seed}
+    if getattr(args, "core", False):
+        kwargs.update(
+            planted_core_size=42, core_components=6, core_giant_size=32
+        )
+    return WorldConfig(**kwargs)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    pipeline = ReproductionPipeline(_config(args))
+    print(f"world: {pipeline.world.summary()}", file=sys.stderr)
+    report = pipeline.run()
+    text = render_full_report(report)
+    print(text)
+    if args.checkpoint is not None:
+        dump_result(report.corpus, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+    if args.report is not None:
+        args.report.write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {args.report}", file=sys.stderr)
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    pipeline = ReproductionPipeline(
+        _config(args), with_faults=args.with_faults
+    )
+    enumeration = pipeline.enumerate_gab()
+    corpus, crawler = pipeline.crawl_dissenter(enumeration.usernames())
+    pipeline.uncover_shadow(corpus)
+    dump_result(corpus, args.out)
+    print(f"crawled {corpus.summary()} "
+          f"({pipeline.client.stats.requests} HTTP requests, "
+          f"{pipeline.client.stats.timeouts} timeouts retried)")
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    texts = args.text or [line.strip() for line in sys.stdin if line.strip()]
+    if not texts:
+        print("no text to score", file=sys.stderr)
+        return 1
+    dictionary = HateDictionary()
+    models = PerspectiveModels()
+    for text in texts:
+        scores = models.score(text)
+        ratio = dictionary.score(text).ratio
+        print(f"{text[:60]!r}")
+        print(f"  dictionary hate ratio: {ratio:.3f}")
+        for name, value in scores.items():
+            print(f"  {name}: {value:.3f}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz.figures import render_all_figures
+
+    pipeline = ReproductionPipeline(_config(args))
+    report = pipeline.run()
+    written = render_all_figures(report, args.out)
+    for path in written:
+        print(path)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "crawl": _cmd_crawl,
+        "score": _cmd_score,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""The paper's measurement analyses (§4).
+
+Every module here consumes *crawled* records (:mod:`repro.crawler.records`)
+— never the generator's ground truth — and produces structured result
+objects mirroring one of the paper's tables or figures:
+
+========================  =====================================================
+Module                    Paper artefact
+========================  =====================================================
+:mod:`macro`              Fig. 2 (Gab ID growth), Fig. 3 (comment CDF),
+                          Table 1 (flags/filters), §4.1 headline numbers
+:mod:`urls`               Table 2 (TLDs/domains), §4.2.1 URL anomalies
+:mod:`language`           §4.2.3 language mix
+:mod:`youtube`            §4.2.2 YouTube content analysis
+:mod:`shadow`             Fig. 4 (NSFW/offensive score CDFs), §4.3.1
+:mod:`votes`              Fig. 5 (toxicity vs net vote score)
+:mod:`relative`           Table 3, Fig. 6 (comment ratios), Fig. 7 (CDFs)
+:mod:`bias`               Fig. 8 (scores by Allsides bias + KS tests)
+:mod:`socialnet`          Fig. 9 (degrees, toxicity), §4.5 hateful core
+:mod:`pipeline`           end-to-end orchestration of crawl + analyses
+========================  =====================================================
+"""
+
+from repro.core.bias import BiasAnalysis, analyze_bias
+from repro.core.covert import (
+    CovertAnchor,
+    CovertChannelAnalysis,
+    find_covert_channels,
+)
+from repro.core.defense import DefenseOutcome, simulate_preemptive_defense
+from repro.core.language import LanguageAnalysis, analyze_languages
+from repro.core.macro import (
+    CommentConcentration,
+    GabGrowthSeries,
+    MacroHeadlines,
+    UserTableStats,
+    analyze_gab_growth,
+    comment_concentration,
+    compute_headlines,
+    user_table,
+)
+from repro.core.pipeline import ReproductionPipeline, ReproductionReport
+from repro.core.report import render_full_report
+from repro.core.relative import (
+    BaselineOverview,
+    CommentRatioAnalysis,
+    RelativeToxicity,
+    baseline_overview,
+    comment_ratios,
+    relative_toxicity,
+)
+from repro.core.shadow import ShadowToxicity, analyze_shadow_toxicity
+from repro.core.threads import ThreadStructure, analyze_threads
+from repro.core.socialnet import (
+    HatefulCore,
+    SocialNetworkAnalysis,
+    analyze_social_network,
+    extract_hateful_core,
+)
+from repro.core.urls import UrlTableStats, analyze_urls
+from repro.core.votes import VoteToxicity, analyze_votes
+from repro.core.youtube import YouTubeAnalysis, analyze_youtube
+
+__all__ = [
+    "BaselineOverview",
+    "BiasAnalysis",
+    "CovertAnchor",
+    "CovertChannelAnalysis",
+    "DefenseOutcome",
+    "CommentConcentration",
+    "CommentRatioAnalysis",
+    "GabGrowthSeries",
+    "HatefulCore",
+    "LanguageAnalysis",
+    "MacroHeadlines",
+    "RelativeToxicity",
+    "ReproductionPipeline",
+    "ReproductionReport",
+    "ShadowToxicity",
+    "ThreadStructure",
+    "SocialNetworkAnalysis",
+    "UrlTableStats",
+    "UserTableStats",
+    "VoteToxicity",
+    "YouTubeAnalysis",
+    "analyze_bias",
+    "analyze_gab_growth",
+    "analyze_languages",
+    "analyze_shadow_toxicity",
+    "analyze_social_network",
+    "analyze_threads",
+    "analyze_urls",
+    "analyze_votes",
+    "analyze_youtube",
+    "baseline_overview",
+    "comment_concentration",
+    "comment_ratios",
+    "compute_headlines",
+    "extract_hateful_core",
+    "find_covert_channels",
+    "relative_toxicity",
+    "render_full_report",
+    "simulate_preemptive_defense",
+    "user_table",
+]

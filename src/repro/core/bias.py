@@ -1,0 +1,101 @@
+"""Toxicity conditioned on media bias (§4.4.4, Figure 8).
+
+URLs are classified with an Allsides-style bias table (news outlets only;
+YouTube, social media and unknown domains are "not-ranked").  Per-bias
+SEVERE_TOXICITY and ATTACK_ON_AUTHOR score distributions are compared
+with pairwise two-sample KS tests — the paper confirms all pairs differ
+at p < 0.01.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.crawler.records import CrawlResult
+from repro.core.urls import second_level_domain
+from repro.perspective.models import PerspectiveModels
+from repro.platform.urlgen import ALLSIDES_BIAS
+from repro.stats.hypothesis_tests import KSResult, pairwise_ks
+
+__all__ = ["BIAS_CATEGORIES", "BiasAnalysis", "analyze_bias", "bias_of_url"]
+
+BIAS_CATEGORIES = (
+    "left", "left-center", "center", "right-center", "right", "not-ranked"
+)
+
+
+def bias_of_url(url: str, table: Mapping[str, str] | None = None) -> str:
+    """Allsides bias of a URL's domain ("not-ranked" when absent)."""
+    table = table if table is not None else ALLSIDES_BIAS
+    domain = second_level_domain(url)
+    if domain is None:
+        return "not-ranked"
+    return table.get(domain, "not-ranked")
+
+
+@dataclass
+class BiasAnalysis:
+    """Figure 8's samples and significance tests."""
+
+    toxicity: dict[str, np.ndarray] = field(default_factory=dict)
+    attack: dict[str, np.ndarray] = field(default_factory=dict)
+    comment_counts: dict[str, int] = field(default_factory=dict)
+    ks_toxicity: dict[tuple[str, str], KSResult] = field(default_factory=dict)
+    ks_attack: dict[tuple[str, str], KSResult] = field(default_factory=dict)
+
+    def median_toxicity(self, bias: str) -> float:
+        values = self.toxicity.get(bias)
+        if values is None or values.size == 0:
+            return float("nan")
+        return float(np.median(values))
+
+    def mean_attack(self, bias: str) -> float:
+        values = self.attack.get(bias)
+        if values is None or values.size == 0:
+            return float("nan")
+        return float(values.mean())
+
+    def ranked_comment_counts(self) -> list[tuple[str, int]]:
+        return sorted(self.comment_counts.items(), key=lambda x: -x[1])
+
+
+def analyze_bias(
+    result: CrawlResult,
+    models: PerspectiveModels | None = None,
+    bias_table: Mapping[str, str] | None = None,
+    max_per_bias: int = 10_000,
+) -> BiasAnalysis:
+    """Group comment scores by the bias of the commented URL."""
+    models = models or PerspectiveModels()
+    url_bias = {
+        record.commenturl_id: bias_of_url(record.url, bias_table)
+        for record in result.urls.values()
+    }
+
+    tox: dict[str, list[float]] = {b: [] for b in BIAS_CATEGORIES}
+    atk: dict[str, list[float]] = {b: [] for b in BIAS_CATEGORIES}
+    counts: dict[str, int] = {b: 0 for b in BIAS_CATEGORIES}
+    for comment in result.comments.values():
+        bias = url_bias.get(comment.commenturl_id, "not-ranked")
+        counts[bias] += 1
+        if len(tox[bias]) >= max_per_bias:
+            continue
+        scores = models.score(comment.text)
+        tox[bias].append(scores["SEVERE_TOXICITY"])
+        atk[bias].append(scores["ATTACK_ON_AUTHOR"])
+
+    analysis = BiasAnalysis(
+        toxicity={b: np.asarray(v) for b, v in tox.items()},
+        attack={b: np.asarray(v) for b, v in atk.items()},
+        comment_counts=counts,
+    )
+    analysis.ks_toxicity = pairwise_ks(
+        {b: v for b, v in analysis.toxicity.items() if v.size >= 5}
+    )
+    analysis.ks_attack = pairwise_ks(
+        {b: v for b, v in analysis.attack.items() if v.size >= 5}
+    )
+    return analysis

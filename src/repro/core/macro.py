@@ -1,0 +1,225 @@
+"""Macro characterisation of the platform (§4.1, Figs. 2-3, Table 1).
+
+All inputs are crawled records; creation times come from the timestamp
+prefix of the undocumented 12-byte IDs (§2.2), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crawler.records import CrawledGabAccount, CrawlResult
+from repro.stats.distributions import ECDF, top_share
+from repro.stats.hypothesis_tests import rank_correlation
+
+__all__ = [
+    "CommentConcentration",
+    "GabGrowthSeries",
+    "MacroHeadlines",
+    "UserTableStats",
+    "analyze_gab_growth",
+    "comment_concentration",
+    "compute_headlines",
+    "user_table",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — Gab ID assignment over time.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GabGrowthSeries:
+    """(creation time, Gab ID) series plus monotonicity anomalies."""
+
+    created_at: np.ndarray           # Unix seconds, sorted ascending
+    gab_ids: np.ndarray              # IDs in creation order
+    anomalous_count: int             # IDs assigned out of order
+    spearman_rho: float              # rank correlation time vs ID
+
+    @property
+    def n(self) -> int:
+        return int(self.created_at.size)
+
+
+def _parse_iso(timestamp: str) -> float:
+    return datetime.datetime.strptime(
+        timestamp, "%Y-%m-%dT%H:%M:%S.000Z"
+    ).replace(tzinfo=datetime.timezone.utc).timestamp()
+
+
+def analyze_gab_growth(accounts: list[CrawledGabAccount]) -> GabGrowthSeries:
+    """Build the Fig. 2 series and quantify ID-counter anomalies.
+
+    An account is "anomalous" when its ID is *lower* than the running
+    maximum ID among accounts created before it — i.e. a previously
+    unallocated low ID handed to a new account.
+    """
+    if not accounts:
+        raise ValueError("no accounts to analyze")
+    times = np.asarray([_parse_iso(a.created_at_iso) for a in accounts])
+    ids = np.asarray([a.gab_id for a in accounts])
+    order = np.argsort(times)
+    times, ids = times[order], ids[order]
+
+    anomalous = 0
+    running_max = 0
+    for gab_id in ids:
+        if gab_id < running_max * 0.5:
+            # Far below the counter's frontier: a reassigned reserved ID.
+            anomalous += 1
+        running_max = max(running_max, int(gab_id))
+
+    rho = rank_correlation(times, ids) if ids.size > 1 else 1.0
+
+    return GabGrowthSeries(
+        created_at=times,
+        gab_ids=ids,
+        anomalous_count=anomalous,
+        spearman_rho=rho,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — comment concentration among active users.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CommentConcentration:
+    """Per-user comment counts and concentration statistics."""
+
+    counts: np.ndarray               # comments per active user, descending
+    top_14pct_share: float
+    gini_like_top_shares: dict[float, float]   # population frac -> mass frac
+
+    def ecdf(self) -> ECDF:
+        return ECDF(self.counts)
+
+
+def comment_concentration(result: CrawlResult) -> CommentConcentration:
+    """Compute Fig. 3's distribution over the crawled corpus."""
+    by_author = result.comments_by_author()
+    counts = np.asarray(
+        sorted((len(v) for v in by_author.values()), reverse=True), dtype=float
+    )
+    if counts.size == 0:
+        raise ValueError("corpus has no comments")
+    shares = {
+        fraction: top_share(counts, fraction)
+        for fraction in (0.01, 0.05, 0.10, 0.14, 0.25, 0.50)
+    }
+    return CommentConcentration(
+        counts=counts,
+        top_14pct_share=shares[0.14],
+        gini_like_top_shares=shares,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — user flags and view filters.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UserTableStats:
+    """Table 1: flag and filter frequencies over active users."""
+
+    n_active: int
+    flag_counts: dict[str, int] = field(default_factory=dict)
+    filter_counts: dict[str, int] = field(default_factory=dict)
+
+    def flag_fraction(self, name: str) -> float:
+        return self.flag_counts.get(name, 0) / self.n_active if self.n_active else 0.0
+
+    def filter_fraction(self, name: str) -> float:
+        return (
+            self.filter_counts.get(name, 0) / self.n_active
+            if self.n_active
+            else 0.0
+        )
+
+
+def user_table(result: CrawlResult) -> UserTableStats:
+    """Tabulate hidden-metadata flags/filters over active users.
+
+    Only users whose commentAuthor blob was mined (i.e. that have posted)
+    contribute — matching the paper's n = active users.
+    """
+    active = [u for u in result.active_users() if u.permissions]
+    stats = UserTableStats(n_active=len(active))
+    for user in active:
+        for name, value in user.permissions.items():
+            if value:
+                stats.flag_counts[name] = stats.flag_counts.get(name, 0) + 1
+        for name, value in user.view_filters.items():
+            if value:
+                stats.filter_counts[name] = stats.filter_counts.get(name, 0) + 1
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# §4.1 headline numbers.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MacroHeadlines:
+    """The §4 headline statistics."""
+
+    total_users: int
+    active_users: int
+    total_comments: int
+    total_replies: int
+    distinct_urls: int
+    first_month_join_fraction: float
+    orphaned_commenters: int          # author-ids with comments but no account
+    censorship_bio_fraction: float
+    nsfw_comments: int
+    offensive_comments: int
+
+    @property
+    def active_fraction(self) -> float:
+        return self.active_users / self.total_users if self.total_users else 0.0
+
+
+def compute_headlines(
+    result: CrawlResult,
+    launch_epoch: float,
+    first_month_days: int = 35,
+) -> MacroHeadlines:
+    """Compute the §4.1 headline statistics from the crawl."""
+    users = list(result.users.values())
+    active = result.active_users()
+    known_authors = {u.author_id for u in users}
+    comment_authors = {c.author_id for c in result.comments.values()}
+    orphaned = len(comment_authors - known_authors)
+
+    cutoff = launch_epoch + first_month_days * 86_400
+    joined_early = sum(1 for u in users if u.created_at <= cutoff)
+    censorship = sum(1 for u in users if "censorship" in u.bio.lower())
+
+    replies = sum(1 for c in result.comments.values() if c.is_reply)
+    nsfw = sum(
+        1 for c in result.comments.values() if c.shadow_label == "nsfw"
+    )
+    offensive = sum(
+        1 for c in result.comments.values() if c.shadow_label == "offensive"
+    )
+
+    return MacroHeadlines(
+        total_users=len(users),
+        active_users=len(active),
+        total_comments=len(result.comments),
+        total_replies=replies,
+        distinct_urls=len(result.urls),
+        first_month_join_fraction=joined_early / len(users) if users else 0.0,
+        orphaned_commenters=orphaned,
+        censorship_bio_fraction=censorship / len(users) if users else 0.0,
+        nsfw_comments=nsfw,
+        offensive_comments=offensive,
+    )

@@ -1,0 +1,264 @@
+"""End-to-end reproduction pipeline.
+
+One object that does what the paper did: build (or accept) a world, stand
+up its HTTP origins, run the §3 crawl stack, then compute every §4
+analysis.  Used by the examples, the integration tests, and the
+benchmarks that need the full corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bias import BiasAnalysis, analyze_bias
+from repro.core.language import LanguageAnalysis, analyze_languages
+from repro.core.macro import (
+    CommentConcentration,
+    GabGrowthSeries,
+    MacroHeadlines,
+    UserTableStats,
+    analyze_gab_growth,
+    comment_concentration,
+    compute_headlines,
+    user_table,
+)
+from repro.core.relative import (
+    BaselineOverview,
+    CommentRatioAnalysis,
+    RelativeToxicity,
+    baseline_overview,
+    comment_ratios,
+    relative_toxicity,
+)
+from repro.core.shadow import ShadowToxicity, analyze_shadow_toxicity
+from repro.core.socialnet import (
+    HatefulCore,
+    SocialNetworkAnalysis,
+    analyze_social_network,
+    extract_hateful_core,
+)
+from repro.core.urls import UrlTableStats, analyze_urls
+from repro.core.votes import VoteToxicity, analyze_votes
+from repro.core.youtube import YouTubeAnalysis, analyze_youtube
+from repro.crawler.dissenter_crawl import DissenterCrawler
+from repro.crawler.gab_enum import GabEnumerationResult, GabEnumerator
+from repro.crawler.records import CrawlResult
+from repro.crawler.reddit_crawl import RedditMatcher, RedditMatchResult
+from repro.crawler.shadow import ShadowCrawler
+from repro.crawler.social_crawl import (
+    SocialGraphCrawler,
+    induce_dissenter_graph,
+)
+from repro.crawler.validation import CrawlValidator, ValidationReport
+from repro.crawler.youtube_crawl import (
+    YouTubeCrawler,
+    YouTubeCrawlResult,
+    is_youtube_url,
+)
+from repro.net.client import HttpClient
+from repro.perspective.models import PerspectiveModels
+from repro.platform.apps import Origins, build_origins
+from repro.platform.config import WorldConfig
+from repro.platform.world import World, build_world
+
+import numpy as np
+
+__all__ = ["ReproductionPipeline", "ReproductionReport"]
+
+
+@dataclass
+class ReproductionReport:
+    """Everything the pipeline measured."""
+
+    # Crawl artefacts.
+    gab_enumeration: GabEnumerationResult
+    corpus: CrawlResult
+    validation: ValidationReport
+    youtube_crawl: YouTubeCrawlResult
+    reddit_match: RedditMatchResult
+
+    # §4 analyses.
+    growth: GabGrowthSeries
+    concentration: CommentConcentration
+    user_flags: UserTableStats
+    headlines: MacroHeadlines
+    url_table: UrlTableStats
+    languages: LanguageAnalysis
+    youtube: YouTubeAnalysis
+    shadow: ShadowToxicity
+    votes: VoteToxicity
+    baselines: BaselineOverview
+    ratios: CommentRatioAnalysis | None
+    relative: RelativeToxicity
+    bias: BiasAnalysis
+    social: SocialNetworkAnalysis
+    hateful_core: HatefulCore
+
+    extras: dict[str, object] = field(default_factory=dict)
+
+
+class ReproductionPipeline:
+    """Runs crawl + analyses against a world's HTTP origins.
+
+    Args:
+        config: world configuration (ignored when ``world`` is given).
+        world: pre-built world to reuse (worlds are expensive).
+        with_faults: inject transport faults to exercise retry paths.
+    """
+
+    def __init__(
+        self,
+        config: WorldConfig | None = None,
+        world: World | None = None,
+        with_faults: bool = False,
+    ):
+        self.world = world or build_world(config)
+        self.origins: Origins = build_origins(
+            self.world, with_faults=with_faults, seed=self.world.config.seed
+        )
+        self.client = HttpClient(self.origins.transport)
+        self.models = PerspectiveModels()
+
+    # ------------------------------------------------------------------
+    # Crawl stages (each usable on its own).
+    # ------------------------------------------------------------------
+
+    def enumerate_gab(self) -> GabEnumerationResult:
+        enumerator = GabEnumerator(self.client)
+        return enumerator.enumerate(max_id=self.world.gab.max_id)
+
+    def crawl_dissenter(
+        self, usernames: list[str]
+    ) -> tuple[CrawlResult, DissenterCrawler]:
+        crawler = DissenterCrawler(self.client)
+        detected = crawler.detect_accounts(usernames)
+        corpus = crawler.crawl(detected)
+        while crawler.stats.comment_pages_failed:
+            if crawler.recrawl_failures(corpus) == 0:
+                break
+        return corpus, crawler
+
+    def uncover_shadow(self, corpus: CrawlResult) -> ShadowCrawler:
+        shadow = ShadowCrawler(self.client, self.origins.dissenter)
+        shadow.uncover(corpus)
+        return shadow
+
+    def validate(
+        self, corpus: CrawlResult, shadow: ShadowCrawler
+    ) -> ValidationReport:
+        config = self.world.config
+        validator = CrawlValidator(
+            window_start=config.epoch_dissenter - 45 * 86_400,
+            window_end=config.crawl_time + 86_400,
+        )
+        report = validator.check_consistency(corpus)
+        return validator.verify_shadow_sample(corpus, shadow, report=report)
+
+    def crawl_youtube(self, corpus: CrawlResult) -> YouTubeCrawlResult:
+        crawler = YouTubeCrawler(self.client)
+        urls = [u.url for u in corpus.urls.values() if is_youtube_url(u.url)]
+        return crawler.crawl(urls)
+
+    def crawl_social(self, corpus: CrawlResult, gab_enum: GabEnumerationResult):
+        gab_ids = {
+            account.username: account.gab_id
+            for account in gab_enum.accounts
+        }
+        active_ids = [
+            gab_ids[u.username]
+            for u in corpus.active_users()
+            if u.username in gab_ids
+        ]
+        crawler = SocialGraphCrawler(self.client, floor_interval=0.0)
+        raw = crawler.crawl(active_ids)
+        return induce_dissenter_graph(raw, active_ids), active_ids, gab_ids
+
+    def match_reddit(self, corpus: CrawlResult) -> RedditMatchResult:
+        matcher = RedditMatcher(self.client)
+        return matcher.match(sorted(corpus.users))
+
+    # ------------------------------------------------------------------
+    # Full run.
+    # ------------------------------------------------------------------
+
+    def run(self) -> ReproductionReport:
+        """Execute every crawl stage and every analysis."""
+        world = self.world
+        gab_enum = self.enumerate_gab()
+        corpus, _crawler = self.crawl_dissenter(gab_enum.usernames())
+        shadow_crawler = self.uncover_shadow(corpus)
+        validation = self.validate(corpus, shadow_crawler)
+        youtube_crawl = self.crawl_youtube(corpus)
+        graph, active_ids, gab_ids = self.crawl_social(corpus, gab_enum)
+        reddit_match = self.match_reddit(corpus)
+
+        # Per-user toxicity and activity (for Figs. 9b/9c and the core).
+        by_author = corpus.comments_by_author()
+        author_by_username = {
+            u.username: u.author_id for u in corpus.users.values()
+        }
+        comment_counts: dict[int, float] = {}
+        median_toxicity: dict[int, float] = {}
+        for username, gab_id in gab_ids.items():
+            author_id = author_by_username.get(username)
+            if author_id is None:
+                continue
+            comments = by_author.get(author_id, [])
+            comment_counts[gab_id] = len(comments)
+            if comments:
+                scores = [
+                    self.models.score(c.text)["SEVERE_TOXICITY"]
+                    for c in comments[:200]
+                ]
+                median_toxicity[gab_id] = float(np.median(scores))
+
+        baseline_texts = {
+            "reddit": [
+                text
+                for texts in reddit_match.sample_comments.values()
+                for text in texts
+            ],
+            "nytimes": [c.text for c in world.news.nytimes],
+            "dailymail": [c.text for c in world.news.dailymail],
+        }
+
+        report = ReproductionReport(
+            gab_enumeration=gab_enum,
+            corpus=corpus,
+            validation=validation,
+            youtube_crawl=youtube_crawl,
+            reddit_match=reddit_match,
+            growth=analyze_gab_growth(gab_enum.accounts),
+            concentration=comment_concentration(corpus),
+            user_flags=user_table(corpus),
+            headlines=compute_headlines(
+                corpus, launch_epoch=world.config.epoch_dissenter
+            ),
+            url_table=analyze_urls(corpus),
+            languages=analyze_languages(corpus),
+            youtube=analyze_youtube(youtube_crawl, corpus),
+            shadow=analyze_shadow_toxicity(corpus, self.models),
+            votes=analyze_votes(corpus, self.models),
+            baselines=baseline_overview(
+                reddit_match,
+                nytimes_count=world.news.nominal_counts["nytimes"],
+                dailymail_count=world.news.nominal_counts["dailymail"],
+            ),
+            ratios=(
+                comment_ratios(corpus, reddit_match)
+                if reddit_match.matched_usernames
+                else None
+            ),
+            relative=relative_toxicity(
+                [c.text for c in corpus.comments.values()],
+                baseline_texts,
+                self.models,
+            ),
+            bias=analyze_bias(corpus, self.models),
+            social=analyze_social_network(graph, median_toxicity),
+            hateful_core=extract_hateful_core(
+                graph, comment_counts, median_toxicity
+            ),
+        )
+        report.extras["active_gab_ids"] = active_ids
+        return report

@@ -1,0 +1,163 @@
+"""Text rendering of the reproduced tables and figures.
+
+Formats a :class:`~repro.core.pipeline.ReproductionReport` the way the
+paper presents its results: Tables 1-3 as aligned tables, figures as
+compact numeric summaries.  Used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.pipeline import ReproductionReport
+
+__all__ = [
+    "render_figures_summary",
+    "render_full_report",
+    "render_headlines",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]
+
+
+def _table(title: str, headers: tuple[str, ...], rows: Iterable[tuple]) -> str:
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    rule = "-" * (sum(widths) + 2 * (len(headers) - 1))
+    lines = [title, "=" * len(title), fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1(report: ReproductionReport) -> str:
+    """Table 1 — user attribute flags and comment view-filters."""
+    flags = report.user_flags
+    flag_rows = [
+        (name, count, f"{count / flags.n_active:.2%}" if flags.n_active else "-")
+        for name, count in sorted(flags.flag_counts.items())
+    ]
+    filter_rows = [
+        (name, count, f"{count / flags.n_active:.2%}" if flags.n_active else "-")
+        for name, count in sorted(flags.filter_counts.items())
+    ]
+    return "\n\n".join([
+        _table(
+            f"Table 1a — user flags (n={flags.n_active})",
+            ("flag", "count", "fraction"), flag_rows,
+        ),
+        _table(
+            f"Table 1b — comment view-filters (n={flags.n_active})",
+            ("filter", "count", "fraction"), filter_rows,
+        ),
+    ])
+
+
+def render_table2(report: ReproductionReport, top_k: int = 10) -> str:
+    """Table 2 — most frequently commented TLDs and domains."""
+    urls = report.url_table
+    tld_rows = [
+        (tld, count, f"{count / urls.total_urls:.2%}")
+        for tld, count in urls.top_tlds(top_k)
+    ]
+    domain_rows = [
+        (domain, count, f"{count / urls.total_urls:.2%}")
+        for domain, count in urls.top_domains(top_k)
+    ]
+    return "\n\n".join([
+        _table(
+            f"Table 2a — top TLDs (of {urls.total_urls} URLs)",
+            ("tld", "count", "fraction"), tld_rows,
+        ),
+        _table(
+            "Table 2b — top domains",
+            ("domain", "count", "fraction"), domain_rows,
+        ),
+    ])
+
+
+def render_table3(report: ReproductionReport) -> str:
+    """Table 3 — overview of baseline toxicity datasets."""
+    overview = report.baselines
+    rows = [
+        ("NY Times", f"{overview.nytimes_comments:,}", "n/a"),
+        ("Daily Mail", f"{overview.dailymail_comments:,}", "n/a"),
+        ("Reddit", f"{overview.reddit_comments:,}",
+         f"{overview.reddit_matched_commenters:,}"),
+    ]
+    return _table(
+        "Table 3 — baseline datasets",
+        ("dataset", "# comments", "# Dissenter commenters"), rows,
+    )
+
+
+def render_headlines(report: ReproductionReport) -> str:
+    """The §4.1 headline census."""
+    h = report.headlines
+    rows = [
+        ("Dissenter users", f"{h.total_users:,}"),
+        ("active users", f"{h.active_users:,} ({h.active_fraction:.1%})"),
+        ("comments + replies",
+         f"{h.total_comments:,} ({h.total_replies:,} replies)"),
+        ("distinct URLs", f"{h.distinct_urls:,}"),
+        ("first-month joiners", f"{h.first_month_join_fraction:.1%}"),
+        ("orphaned commenters", h.orphaned_commenters),
+        ("'censorship' in bio", f"{h.censorship_bio_fraction:.1%}"),
+        ("NSFW / offensive comments",
+         f"{h.nsfw_comments} / {h.offensive_comments}"),
+        ("English / German comments",
+         f"{report.languages.fraction('en'):.1%} / "
+         f"{report.languages.fraction('de'):.1%}"),
+    ]
+    return _table("§4.1 — headline census", ("quantity", "measured"), rows)
+
+
+def render_figures_summary(report: ReproductionReport) -> str:
+    """One-line-per-figure numeric summary."""
+    shadow = report.shadow
+    relative = report.relative
+    social = report.social
+    rows = [
+        ("Fig 2: rank corr(time, gab id)",
+         f"{report.growth.spearman_rho:.3f} "
+         f"({report.growth.anomalous_count} anomalies)"),
+        ("Fig 3: top-14% comment share",
+         f"{report.concentration.top_14pct_share:.1%}"),
+        ("Fig 4: offensive >0.95 reject",
+         f"{shadow.exceed_fraction('LIKELY_TO_REJECT', 'offensive', 0.95):.0%}"),
+        ("Fig 5: toxicity peak at net=0",
+         f"{report.votes.bucket_means.get(0, float('nan')):.3f}"),
+        ("Fig 6: Dissenter-/Reddit-exclusive",
+         f"{report.ratios.dissenter_exclusive:.0%} / "
+         f"{report.ratios.reddit_exclusive:.0%}"
+         if report.ratios else "n/a"),
+        ("Fig 7a: Dissenter reject >= 0.5",
+         f"{relative.exceed_fraction('LIKELY_TO_REJECT', 'dissenter', 0.5):.0%}"),
+        ("Fig 7b: Dissenter/Reddit tox >= 0.5",
+         f"{relative.exceed_fraction('SEVERE_TOXICITY', 'dissenter', 0.5):.2f}"
+         f" / {relative.exceed_fraction('SEVERE_TOXICITY', 'reddit', 0.5):.2f}"),
+        ("Fig 8: tox median center/right",
+         f"{report.bias.median_toxicity('center'):.3f} / "
+         f"{report.bias.median_toxicity('right'):.3f}"),
+        ("Fig 9: isolated users", f"{social.isolated_fraction:.1%}"),
+        ("Hateful core (size/components/giant)",
+         f"{report.hateful_core.size} / {report.hateful_core.n_components}"
+         f" / {report.hateful_core.giant_size}"),
+    ]
+    return _table("Figures — numeric summary", ("artefact", "measured"), rows)
+
+
+def render_full_report(report: ReproductionReport) -> str:
+    """Everything, in paper order."""
+    return "\n\n".join([
+        render_headlines(report),
+        render_table1(report),
+        render_table2(report),
+        render_table3(report),
+        render_figures_summary(report),
+    ])

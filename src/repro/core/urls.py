@@ -1,0 +1,134 @@
+"""URL analysis (§4.2.1, Table 2).
+
+TLD and second-level-domain ranking, scheme census (HTTPS/HTTP/file/
+browser), the protocol-only and trailing-slash duplicate counts, GET-
+parameter over-counting, and the per-URL comment-volume ranking that
+surfaces fringe domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.crawler.records import CrawlResult
+
+__all__ = ["UrlTableStats", "analyze_urls", "second_level_domain", "tld_of"]
+
+# Multi-label suffixes treated as a single effective TLD, as Table 2 does
+# (bbc.co.uk counts toward .uk).
+_COMPOSITE_SUFFIXES = (".co.uk", ".org.uk", ".ac.uk", ".co.nz", ".com.au")
+
+
+def tld_of(url: str) -> str | None:
+    """Effective TLD of a URL (None for non-network schemes)."""
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", "https"):
+        return None
+    host = parts.netloc.lower().rsplit(":", 1)[0]
+    if "." not in host:
+        return None
+    return "." + host.rsplit(".", 1)[1]
+
+
+def second_level_domain(url: str) -> str | None:
+    """Registrable domain, respecting composite public suffixes."""
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", "https"):
+        return None
+    host = parts.netloc.lower().rsplit(":", 1)[0]
+    for suffix in _COMPOSITE_SUFFIXES:
+        if host.endswith(suffix):
+            stem = host[: -len(suffix)]
+            if not stem:
+                return None
+            return stem.rsplit(".", 1)[-1] + suffix
+    if host.count(".") == 0:
+        return None
+    pieces = host.rsplit(".", 2)
+    return ".".join(pieces[-2:])
+
+
+@dataclass
+class UrlTableStats:
+    """Table 2 plus the §4.2.1 anomaly census."""
+
+    total_urls: int
+    tld_counts: dict[str, int] = field(default_factory=dict)
+    domain_counts: dict[str, int] = field(default_factory=dict)
+    scheme_counts: dict[str, int] = field(default_factory=dict)
+    protocol_duplicates: int = 0
+    trailing_slash_duplicates: int = 0
+    multi_param_urls: int = 0
+    median_volume_by_domain: dict[str, float] = field(default_factory=dict)
+    top_volume_urls: list[tuple[int, str]] = field(default_factory=list)
+
+    def top_tlds(self, k: int = 10) -> list[tuple[str, int]]:
+        return sorted(self.tld_counts.items(), key=lambda x: -x[1])[:k]
+
+    def top_domains(self, k: int = 10) -> list[tuple[str, int]]:
+        return sorted(self.domain_counts.items(), key=lambda x: -x[1])[:k]
+
+    def tld_fraction(self, tld: str) -> float:
+        return self.tld_counts.get(tld, 0) / self.total_urls if self.total_urls else 0.0
+
+    def domain_fraction(self, domain: str) -> float:
+        return (
+            self.domain_counts.get(domain, 0) / self.total_urls
+            if self.total_urls
+            else 0.0
+        )
+
+
+def analyze_urls(result: CrawlResult) -> UrlTableStats:
+    """Run the §4.2.1 census over the crawled URL set."""
+    urls = [u.url for u in result.urls.values()]
+    stats = UrlTableStats(total_urls=len(urls))
+
+    https_set: set[str] = set()
+    for url in urls:
+        scheme = url.split(":", 1)[0].lower() if ":" in url else "unknown"
+        stats.scheme_counts[scheme] = stats.scheme_counts.get(scheme, 0) + 1
+        if scheme == "https":
+            https_set.add(url[len("https://"):])
+        tld = tld_of(url)
+        if tld is not None:
+            stats.tld_counts[tld] = stats.tld_counts.get(tld, 0) + 1
+        domain = second_level_domain(url)
+        if domain is not None:
+            stats.domain_counts[domain] = stats.domain_counts.get(domain, 0) + 1
+        query = urlsplit(url).query if "://" in url else ""
+        if query.count("&") >= 1:
+            stats.multi_param_urls += 1
+
+    # Protocol-only duplicates: http:// URL whose https:// twin exists.
+    all_urls = set(urls)
+    for url in urls:
+        if url.startswith("http://") and url[len("http://"):] in https_set:
+            stats.protocol_duplicates += 1
+        if (
+            url.endswith("/")
+            and url[:-1] in all_urls
+        ):
+            stats.trailing_slash_duplicates += 1
+
+    # Per-URL comment volume, by domain.
+    volumes: dict[str, list[int]] = {}
+    by_url = result.comments_by_url()
+    top: list[tuple[int, str]] = []
+    for record in result.urls.values():
+        count = len(by_url.get(record.commenturl_id, []))
+        top.append((count, record.url))
+        domain = second_level_domain(record.url)
+        if domain is not None:
+            volumes.setdefault(domain, []).append(count)
+    top.sort(reverse=True)
+    stats.top_volume_urls = top[:20]
+    stats.median_volume_by_domain = {
+        domain: float(np.median(counts))
+        for domain, counts in volumes.items()
+        if counts
+    }
+    return stats

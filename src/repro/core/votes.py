@@ -1,0 +1,89 @@
+"""URL vote scores vs comment toxicity (§4.3.2, Figure 5).
+
+For every crawled URL, the net vote score (up minus down) is paired with
+the mean and median SEVERE_TOXICITY of its comments.  The paper finds the
+highest toxicity concentrated at net-zero URLs, decaying as |net| grows,
+with negative-net URLs slightly more toxic than positive ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crawler.records import CrawlResult
+from repro.perspective.models import PerspectiveModels
+
+__all__ = ["VoteToxicity", "analyze_votes"]
+
+
+@dataclass
+class VoteToxicity:
+    """Figure 5's per-URL points plus bucketed aggregates."""
+
+    net_scores: np.ndarray           # per URL
+    mean_toxicity: np.ndarray        # per URL
+    median_toxicity: np.ndarray      # per URL
+    positive_urls: int = 0
+    negative_urls: int = 0
+    zero_urls: int = 0
+    in_band_fraction: float = 0.0    # |net| < 10
+
+    bucket_means: dict[int, float] = field(default_factory=dict)
+    bucket_medians: dict[int, float] = field(default_factory=dict)
+
+    def mean_at(self, net: int) -> float | None:
+        return self.bucket_means.get(net)
+
+    def aggregate_mean(self, nets: list[int]) -> float:
+        values = [self.bucket_means[n] for n in nets if n in self.bucket_means]
+        return float(np.mean(values)) if values else float("nan")
+
+
+def analyze_votes(
+    result: CrawlResult,
+    models: PerspectiveModels | None = None,
+    max_comments_per_url: int = 50,
+) -> VoteToxicity:
+    """Pair every URL's net vote score with its comment toxicity."""
+    models = models or PerspectiveModels()
+    by_url = result.comments_by_url()
+
+    nets: list[int] = []
+    means: list[float] = []
+    medians: list[float] = []
+    for record in result.urls.values():
+        comments = by_url.get(record.commenturl_id, [])
+        if not comments:
+            continue
+        scores = np.asarray([
+            models.score(c.text)["SEVERE_TOXICITY"]
+            for c in comments[:max_comments_per_url]
+        ])
+        nets.append(record.net_votes)
+        means.append(float(scores.mean()))
+        medians.append(float(np.median(scores)))
+
+    nets_arr = np.asarray(nets)
+    means_arr = np.asarray(means)
+    medians_arr = np.asarray(medians)
+
+    analysis = VoteToxicity(
+        net_scores=nets_arr,
+        mean_toxicity=means_arr,
+        median_toxicity=medians_arr,
+        positive_urls=int((nets_arr > 0).sum()),
+        negative_urls=int((nets_arr < 0).sum()),
+        zero_urls=int((nets_arr == 0).sum()),
+        in_band_fraction=(
+            float((np.abs(nets_arr) < 10).mean()) if nets_arr.size else 0.0
+        ),
+    )
+    for net in np.unique(nets_arr):
+        mask = nets_arr == net
+        analysis.bucket_means[int(net)] = float(means_arr[mask].mean())
+        analysis.bucket_medians[int(net)] = float(
+            np.median(medians_arr[mask])
+        )
+    return analysis

@@ -1,0 +1,124 @@
+"""Crawl checkpointing.
+
+The paper's crawl ran for weeks against a live service; resumability was
+survival.  A :class:`CrawlResult` serialises to a single JSON document and
+loads back losslessly, so a crawl can stop after any stage and resume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.crawler.records import (
+    CrawlResult,
+    CrawledComment,
+    CrawledUrl,
+    CrawledUser,
+)
+
+__all__ = ["dump_result", "dumps_result", "load_result", "loads_result"]
+
+_FORMAT_VERSION = 1
+
+
+def dumps_result(result: CrawlResult) -> str:
+    """Serialise a crawl result to a JSON string."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "users": [
+            {
+                "username": u.username,
+                "author_id": u.author_id,
+                "display_name": u.display_name,
+                "bio": u.bio,
+                "commented_url_ids": u.commented_url_ids,
+                "language": u.language,
+                "permissions": u.permissions,
+                "view_filters": u.view_filters,
+            }
+            for u in result.users.values()
+        ],
+        "urls": [
+            {
+                "commenturl_id": u.commenturl_id,
+                "url": u.url,
+                "title": u.title,
+                "description": u.description,
+                "upvotes": u.upvotes,
+                "downvotes": u.downvotes,
+            }
+            for u in result.urls.values()
+        ],
+        "comments": [
+            {
+                "comment_id": c.comment_id,
+                "author_id": c.author_id,
+                "commenturl_id": c.commenturl_id,
+                "text": c.text,
+                "parent_comment_id": c.parent_comment_id,
+                "created_at_epoch": c.created_at_epoch,
+                "shadow_label": c.shadow_label,
+            }
+            for c in result.comments.values()
+        ],
+    }
+    return json.dumps(payload)
+
+
+def loads_result(serialized: str) -> CrawlResult:
+    """Load a crawl result from a JSON string.
+
+    Raises:
+        ValueError: unknown format version or malformed document.
+    """
+    payload = json.loads(serialized)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {payload.get('version')!r}"
+        )
+    result = CrawlResult()
+    for entry in payload["users"]:
+        user = CrawledUser(
+            username=entry["username"],
+            author_id=entry["author_id"],
+            display_name=entry.get("display_name", ""),
+            bio=entry.get("bio", ""),
+            commented_url_ids=list(entry.get("commented_url_ids", [])),
+            language=entry.get("language"),
+            permissions=dict(entry.get("permissions", {})),
+            view_filters=dict(entry.get("view_filters", {})),
+        )
+        result.users[user.username] = user
+    for entry in payload["urls"]:
+        url = CrawledUrl(
+            commenturl_id=entry["commenturl_id"],
+            url=entry["url"],
+            title=entry.get("title", ""),
+            description=entry.get("description", ""),
+            upvotes=int(entry.get("upvotes", 0)),
+            downvotes=int(entry.get("downvotes", 0)),
+        )
+        result.urls[url.commenturl_id] = url
+    for entry in payload["comments"]:
+        comment = CrawledComment(
+            comment_id=entry["comment_id"],
+            author_id=entry["author_id"],
+            commenturl_id=entry["commenturl_id"],
+            text=entry["text"],
+            parent_comment_id=entry.get("parent_comment_id"),
+            created_at_epoch=int(entry.get("created_at_epoch", 0)),
+            shadow_label=entry.get("shadow_label"),
+        )
+        result.comments[comment.comment_id] = comment
+    return result
+
+
+def dump_result(result: CrawlResult, path: str | Path) -> None:
+    """Write a checkpoint file."""
+    Path(path).write_text(dumps_result(result), encoding="utf-8")
+
+
+def load_result(path: str | Path) -> CrawlResult:
+    """Read a checkpoint file."""
+    return loads_result(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,175 @@
+"""The Dissenter spider (§3.1-3.2).
+
+Stage 1 — account detection: for every Gab username, request the
+Dissenter home-page URL and classify by **response size** (a real user
+page weighs >10 kB; a missing-user response ~150 bytes).
+
+Stage 2 — home pages: parse username, display name, author-id, bio, and
+the set of commented-upon URL ids into the frontier.
+
+Stage 3 — comment pages: for every discovered discussion, record the
+commenturl-id, title, description, vote counts, and every visible comment
+and reply (comment-id, author-id, parent-id, text).
+
+Stage 4 — hidden metadata: visit one single-comment page per distinct
+author and mine the commented-out ``commentAuthor`` JavaScript variable
+for language / permissions / view-filter settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.crawler.frontier import CrawlFrontier
+from repro.crawler.parsing import (
+    parse_comment_author_blob,
+    parse_comment_page,
+    parse_user_page,
+)
+from repro.crawler.records import CrawlResult
+from repro.net.client import HttpClient
+
+__all__ = ["DissenterCrawler", "SIZE_THRESHOLD"]
+
+SIZE_THRESHOLD = 10_240   # bytes: the paper's ">= 10 kB means account exists"
+
+
+@dataclass
+class CrawlStats:
+    """Progress counters for one crawl."""
+
+    usernames_probed: int = 0
+    accounts_detected: int = 0
+    home_pages_parsed: int = 0
+    comment_pages_parsed: int = 0
+    comment_pages_failed: list[str] = field(default_factory=list)
+    author_pages_visited: int = 0
+
+
+class DissenterCrawler:
+    """Drives the full §3.1-3.2 crawl over HTTP."""
+
+    BASE = "https://dissenter.com"
+
+    def __init__(self, client: HttpClient):
+        self._client = client
+        self.stats = CrawlStats()
+
+    # ------------------------------------------------------------------
+    # Stage 1: account detection by response size.
+    # ------------------------------------------------------------------
+
+    def detect_accounts(self, usernames: Iterable[str]) -> list[str]:
+        """Return the subset of usernames that have Dissenter accounts."""
+        detected: list[str] = []
+        for username in usernames:
+            self.stats.usernames_probed += 1
+            response = self._client.get_or_none(
+                f"{self.BASE}/user/{username}"
+            )
+            if response is None:
+                continue
+            if response.size >= SIZE_THRESHOLD:
+                detected.append(username)
+                self.stats.accounts_detected += 1
+        return detected
+
+    # ------------------------------------------------------------------
+    # Stages 2-4.
+    # ------------------------------------------------------------------
+
+    def crawl(self, usernames: Sequence[str]) -> CrawlResult:
+        """Crawl home pages, comment pages, and hidden author metadata.
+
+        ``usernames`` should be the detected Dissenter accounts (stage 1);
+        passing undetected names is harmless — their 404s are skipped.
+        """
+        result = CrawlResult()
+        url_frontier: CrawlFrontier[str] = CrawlFrontier()
+
+        for username in usernames:
+            response = self._client.get_or_none(f"{self.BASE}/user/{username}")
+            if response is None or response.status != 200:
+                continue
+            if response.size < SIZE_THRESHOLD:
+                continue
+            user = parse_user_page(response.text)
+            if user is None:
+                continue
+            self.stats.home_pages_parsed += 1
+            result.users[user.username] = user
+            url_frontier.add_many(user.commented_url_ids)
+
+        for commenturl_id in url_frontier.drain():
+            response = self._client.get_or_none(
+                f"{self.BASE}/discussion/{commenturl_id}"
+            )
+            if response is None or response.status != 200:
+                if response is not None and response.status == 429:
+                    url_frontier.fail(commenturl_id)
+                else:
+                    self.stats.comment_pages_failed.append(commenturl_id)
+                continue
+            url, comments = parse_comment_page(response.text)
+            if url is None:
+                self.stats.comment_pages_failed.append(commenturl_id)
+                continue
+            self.stats.comment_pages_parsed += 1
+            result.urls[url.commenturl_id] = url
+            for comment in comments:
+                result.comments[comment.comment_id] = comment
+
+        self._mine_hidden_metadata(result)
+        return result
+
+    def recrawl_failures(self, result: CrawlResult) -> int:
+        """Re-request comment pages that failed (§3.2's validation loop).
+
+        Returns the number of pages recovered; successfully recovered
+        pages are removed from the failure list.
+        """
+        recovered = 0
+        still_failed: list[str] = []
+        for commenturl_id in self.stats.comment_pages_failed:
+            response = self._client.get_or_none(
+                f"{self.BASE}/discussion/{commenturl_id}"
+            )
+            if response is None or response.status != 200:
+                still_failed.append(commenturl_id)
+                continue
+            url, comments = parse_comment_page(response.text)
+            if url is None:
+                still_failed.append(commenturl_id)
+                continue
+            result.urls[url.commenturl_id] = url
+            for comment in comments:
+                result.comments[comment.comment_id] = comment
+            recovered += 1
+        self.stats.comment_pages_failed = still_failed
+        return recovered
+
+    def _mine_hidden_metadata(self, result: CrawlResult) -> None:
+        """Visit one comment page per author for the commentAuthor blob."""
+        users_by_author = result.users_by_author_id()
+        visited_authors: set[str] = set()
+        for comment in result.comments.values():
+            author_id = comment.author_id
+            if author_id in visited_authors:
+                continue
+            user = users_by_author.get(author_id)
+            if user is None:
+                continue
+            visited_authors.add(author_id)
+            response = self._client.get_or_none(
+                f"{self.BASE}/comment/{comment.comment_id}"
+            )
+            if response is None or response.status != 200:
+                continue
+            self.stats.author_pages_visited += 1
+            blob = parse_comment_author_blob(response.text)
+            if blob is None:
+                continue
+            user.language = blob.get("language")
+            user.permissions = dict(blob.get("permissions", {}))
+            user.view_filters = dict(blob.get("filters", {}))

@@ -1,0 +1,91 @@
+"""Crawl frontier: a deduplicating FIFO work queue.
+
+The Dissenter spider discovers each discussion page from many user home
+pages; the frontier guarantees each URL is fetched once (which is also
+what keeps the per-URL rate limit from ever binding, §3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+__all__ = ["CrawlFrontier"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class CrawlFrontier(Generic[T]):
+    """FIFO queue in which each item is ever enqueued once.
+
+    Items remain "seen" after being dequeued, so re-adding a completed
+    item is a no-op.  ``fail``/``retryable`` support the re-request loop:
+    failed items can be re-enqueued explicitly up to a retry budget.
+    """
+
+    def __init__(self, items: Iterable[T] = (), max_retries: int = 3):
+        self._queue: deque[T] = deque()
+        self._seen: set[T] = set()
+        self._failures: dict[T, int] = {}
+        self._max_retries = max_retries
+        self.completed = 0
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def add(self, item: T) -> bool:
+        """Enqueue if never seen; returns True if enqueued."""
+        if item in self._seen:
+            return False
+        self._seen.add(item)
+        self._queue.append(item)
+        return True
+
+    def add_many(self, items: Iterable[T]) -> int:
+        """Enqueue a batch; returns how many were new."""
+        return sum(1 for item in items if self.add(item))
+
+    def pop(self) -> T:
+        """Dequeue the next item.
+
+        Raises:
+            IndexError: the frontier is empty.
+        """
+        item = self._queue.popleft()
+        self.completed += 1
+        return item
+
+    def fail(self, item: T) -> bool:
+        """Record a failure; re-enqueue unless the retry budget is spent.
+
+        Returns True if the item was re-enqueued.
+        """
+        count = self._failures.get(item, 0) + 1
+        self._failures[item] = count
+        if count > self._max_retries:
+            return False
+        self._queue.append(item)
+        self.completed -= 1   # it will be popped again
+        return True
+
+    def permanently_failed(self) -> list[T]:
+        """Items that exhausted their retry budget."""
+        return [
+            item
+            for item, count in self._failures.items()
+            if count > self._max_retries
+        ]
+
+    def drain(self) -> Iterator[T]:
+        """Iterate until the frontier is empty (items may be added during)."""
+        while self._queue:
+            yield self.pop()
+
+    @property
+    def seen_count(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,168 @@
+"""HTML/JSON parsers for the crawled pages.
+
+Regex-based extraction against the stable markup the origins emit.  Every
+parser is total: malformed pages yield ``None`` or empty collections, and
+the crawler's validation pass re-requests anything that failed to parse.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import re
+
+from repro.crawler.records import (
+    CrawledComment,
+    CrawledUrl,
+    CrawledUser,
+    CrawledYouTubeItem,
+)
+
+__all__ = [
+    "parse_comment_author_blob",
+    "parse_comment_page",
+    "parse_comments",
+    "parse_user_page",
+    "parse_youtube_page",
+]
+
+_DISPLAY_NAME_RE = re.compile(r'<h1 class="display-name">(.*?)</h1>', re.DOTALL)
+_USERNAME_RE = re.compile(r'<span class="username">@(.*?)</span>')
+_AUTHOR_ID_RE = re.compile(r'<meta name="author-id" content="([0-9a-f]{24})">')
+_BIO_RE = re.compile(r'<p class="bio">(.*?)</p>', re.DOTALL)
+_URL_ITEM_RE = re.compile(
+    r'<li class="commented-url"><a href="/discussion/([0-9a-f]{24})">'
+)
+_TITLE_RE = re.compile(r'<h1 class="page-title">(.*?)</h1>', re.DOTALL)
+_DESCRIPTION_RE = re.compile(
+    r'<p class="page-description">(.*?)</p>', re.DOTALL
+)
+_COMMENTURL_ID_RE = re.compile(
+    r'<meta name="commenturl-id" content="([0-9a-f]{24})">'
+)
+_TARGET_URL_RE = re.compile(r'<meta name="target-url" content="(.*?)">')
+_VOTES_RE = re.compile(r'<span class="votes" data-up="(\d+)" data-down="(\d+)">')
+_COMMENT_RE = re.compile(
+    r'<div class="comment" data-comment-id="([0-9a-f]{24})" '
+    r'data-author-id="([0-9a-f]{24})" '
+    r'data-parent-id="([0-9a-f]{24})?" '
+    r'data-created="(\d+)">\s*'
+    r'<p class="comment-text">(.*?)</p>',
+    re.DOTALL,
+)
+_COMMENT_AUTHOR_RE = re.compile(r"// var commentAuthor = (\[.*?\]);", re.DOTALL)
+_YT_BLOB_RE = re.compile(r"var ytInitialData = (\{.*?\});</script>", re.DOTALL)
+
+
+def _unescape(markup: str) -> str:
+    return _html.unescape(markup)
+
+
+def parse_user_page(body: str) -> CrawledUser | None:
+    """Parse a Dissenter home page into a :class:`CrawledUser`."""
+    author_id = _AUTHOR_ID_RE.search(body)
+    username = _USERNAME_RE.search(body)
+    if author_id is None or username is None:
+        return None
+    display = _DISPLAY_NAME_RE.search(body)
+    bio = _BIO_RE.search(body)
+    return CrawledUser(
+        username=_unescape(username.group(1)),
+        author_id=author_id.group(1),
+        display_name=_unescape(display.group(1)) if display else "",
+        bio=_unescape(bio.group(1)) if bio else "",
+        commented_url_ids=_URL_ITEM_RE.findall(body),
+    )
+
+
+def parse_comments(body: str) -> list[CrawledComment]:
+    """Extract every comment block from a page."""
+    comments: list[CrawledComment] = []
+    for match in _COMMENT_RE.finditer(body):
+        comment_id, author_id, parent_id, created, text = match.groups()
+        comments.append(
+            CrawledComment(
+                comment_id=comment_id,
+                author_id=author_id,
+                commenturl_id="",          # attached by the caller
+                text=_unescape(text),
+                parent_comment_id=parent_id or None,
+                created_at_epoch=int(created),
+            )
+        )
+    return comments
+
+
+def parse_comment_page(
+    body: str,
+) -> tuple[CrawledUrl | None, list[CrawledComment]]:
+    """Parse a discussion page into URL-level data plus its comments."""
+    commenturl_id = _COMMENTURL_ID_RE.search(body)
+    if commenturl_id is None:
+        return None, []
+    title = _TITLE_RE.search(body)
+    description = _DESCRIPTION_RE.search(body)
+    target = _TARGET_URL_RE.search(body)
+    votes = _VOTES_RE.search(body)
+    url = CrawledUrl(
+        commenturl_id=commenturl_id.group(1),
+        url=_unescape(target.group(1)) if target else "",
+        title=_unescape(title.group(1)) if title else "",
+        description=_unescape(description.group(1)) if description else "",
+        upvotes=int(votes.group(1)) if votes else 0,
+        downvotes=int(votes.group(2)) if votes else 0,
+    )
+    comments = parse_comments(body)
+    for comment in comments:
+        comment.commenturl_id = url.commenturl_id
+    return url, comments
+
+
+def parse_comment_author_blob(body: str) -> dict | None:
+    """Recover the hidden commentAuthor metadata from a comment page.
+
+    The variable is commented out in the served JavaScript (§3.2) — the
+    parser reads through the ``//`` prefix just as the paper's did.
+    """
+    match = _COMMENT_AUTHOR_RE.search(body)
+    if match is None:
+        return None
+    try:
+        payload = json.loads(match.group(1))
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(payload, list) or not payload:
+        return None
+    return payload[0]
+
+
+def parse_youtube_page(url: str, body: str) -> CrawledYouTubeItem | None:
+    """Extract video metadata from the rendered ytInitialData blob.
+
+    This is the "Selenium" step: the static HTML title is useless, the
+    data lives in JavaScript.
+    """
+    match = _YT_BLOB_RE.search(body)
+    if match is None:
+        return None
+    try:
+        blob = json.loads(match.group(1))
+    except json.JSONDecodeError:
+        return None
+    status = blob.get("status", "ERROR")
+    kind = blob.get("kind", "video")
+    if status == "OK":
+        details = blob.get("videoDetails", {})
+        return CrawledYouTubeItem(
+            url=url,
+            kind=kind,
+            status="OK",
+            title=details.get("title", ""),
+            owner=details.get("author", ""),
+            comments_disabled=bool(details.get("commentsDisabled", False)),
+        )
+    return CrawledYouTubeItem(
+        url=url,
+        kind=kind,
+        status=blob.get("reason", "unavailable"),
+    )

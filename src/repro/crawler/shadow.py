@@ -1,0 +1,133 @@
+"""Shadow-overlay crawling: NSFW and "offensive" content (§3.2, §4.3.1).
+
+NSFW and offensive comments are invisible to unauthenticated viewers and
+carry **no flag in the document body** when visible, so the paper infers
+them differentially: re-spider with an authenticated account that has one
+view preference enabled at a time, and label any comment not present in
+the baseline crawl accordingly.
+
+This module reproduces that three-pass protocol:
+
+1. baseline: unauthenticated crawl (done by :class:`DissenterCrawler`);
+2. NSFW pass: session with only the NSFW filter enabled — new comments
+   are NSFW-labelled;
+3. offensive pass: session with only the offensive filter enabled — new
+   comments are "offensive".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crawler.parsing import parse_comment_page
+from repro.crawler.records import CrawlResult
+from repro.net.client import HttpClient
+from repro.platform.apps.dissenter_app import DissenterApp
+
+__all__ = ["ShadowCrawler", "ShadowCrawlReport"]
+
+
+@dataclass
+class ShadowCrawlReport:
+    """Outcome of the differential crawl."""
+
+    nsfw_found: int = 0
+    offensive_found: int = 0
+    pages_recrawled: int = 0
+
+
+class ShadowCrawler:
+    """Runs the authenticated re-spiders and labels hidden comments.
+
+    Args:
+        client: HTTP client (its cookie jar receives the session cookie).
+        app: the Dissenter origin — used only to provision sessions, the
+            way the paper's authors registered their own accounts and
+            flipped the view settings.
+    """
+
+    BASE = "https://dissenter.com"
+
+    def __init__(self, client: HttpClient, app: DissenterApp):
+        self._client = client
+        self._app = app
+
+    def _crawl_pass(
+        self,
+        result: CrawlResult,
+        token: str,
+        label: str,
+        baseline_ids: set[str],
+    ) -> int:
+        """One authenticated pass; labels comments absent from baseline."""
+        self._client.cookies.set_simple("session", token, "dissenter.com")
+        found = 0
+        for commenturl_id in list(result.urls):
+            response = self._client.get_or_none(
+                f"{self.BASE}/discussion/{commenturl_id}"
+            )
+            if response is None or response.status != 200:
+                continue
+            _, comments = parse_comment_page(response.text)
+            for comment in comments:
+                if comment.comment_id in baseline_ids:
+                    continue
+                if comment.comment_id in result.comments:
+                    continue
+                comment.shadow_label = label
+                result.comments[comment.comment_id] = comment
+                found += 1
+        self._client.cookies.clear("dissenter.com")
+        return found
+
+    def uncover(self, result: CrawlResult) -> ShadowCrawlReport:
+        """Run the NSFW and offensive passes over the baseline result.
+
+        Mutates ``result``: hidden comments are added with their
+        ``shadow_label`` set.
+        """
+        report = ShadowCrawlReport()
+        baseline_ids = set(result.comments)
+
+        nsfw_token = self._app.create_session(nsfw=True, offensive=False)
+        report.nsfw_found = self._crawl_pass(
+            result, nsfw_token, "nsfw", baseline_ids
+        )
+        offensive_token = self._app.create_session(nsfw=False, offensive=True)
+        report.offensive_found = self._crawl_pass(
+            result, offensive_token, "offensive", baseline_ids
+        )
+        report.pages_recrawled = 2 * len(result.urls)
+        return report
+
+    def verify_sample(
+        self, result: CrawlResult, sample_ids: list[str]
+    ) -> dict[str, bool]:
+        """Manually verify labelled comments (§3.2's 100-comment check).
+
+        For each comment id, confirms it is (a) invisible on the
+        unauthenticated single-comment page and (b) visible with the
+        matching view preference enabled.  Returns {comment_id: verified}.
+        """
+        outcomes: dict[str, bool] = {}
+        both_token = self._app.create_session(nsfw=True, offensive=True)
+        for comment_id in sample_ids:
+            comment = result.comments.get(comment_id)
+            if comment is None or comment.shadow_label is None:
+                outcomes[comment_id] = False
+                continue
+            self._client.cookies.clear("dissenter.com")
+            anonymous = self._client.get_or_none(
+                f"{self.BASE}/comment/{comment_id}"
+            )
+            hidden_anonymously = anonymous is not None and anonymous.status == 404
+            self._client.cookies.set_simple(
+                "session", both_token, "dissenter.com"
+            )
+            authed = self._client.get_or_none(
+                f"{self.BASE}/comment/{comment_id}"
+            )
+            visible_authenticated = authed is not None and authed.status == 200
+            outcomes[comment_id] = hidden_anonymously and visible_authenticated
+        self._client.cookies.clear("dissenter.com")
+        return outcomes

@@ -1,0 +1,107 @@
+"""The Gab follower-graph crawl (§3.4).
+
+Dissenter exposes no social network of its own, so the paper used the Gab
+API: for every Dissenter user, page through ``…/followers`` and
+``…/following``, issuing at most one request per second and sleeping to
+the ``X-RateLimit-Reset`` timestamp when the window empties.  Pagination
+guarantees complete lists.
+
+The induced *Dissenter* graph (edges between Dissenter users only) is
+produced afterwards by :func:`induce_dissenter_graph` — the raw lists
+contain plenty of non-Dissenter Gab accounts that must be filtered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.net.client import HttpClient
+from repro.net.ratelimit import HeaderRateLimiter
+
+__all__ = ["SocialCrawlResult", "SocialGraphCrawler", "induce_dissenter_graph"]
+
+
+@dataclass
+class SocialCrawlResult:
+    """Raw follower/following lists keyed by Gab ID."""
+
+    followers: dict[int, list[int]] = field(default_factory=dict)
+    following: dict[int, list[int]] = field(default_factory=dict)
+    requests_made: int = 0
+    seconds_waited: float = 0.0
+
+
+class SocialGraphCrawler:
+    """Walks the paginated Gab relationship API."""
+
+    BASE = "https://gab.com/api/v1/accounts"
+
+    def __init__(self, client: HttpClient, floor_interval: float = 1.0):
+        self._client = client
+        self._limiter = HeaderRateLimiter(
+            client.clock, floor_interval=floor_interval
+        )
+
+    def _paged_ids(self, gab_id: int, relation: str) -> list[int]:
+        collected: list[int] = []
+        page = 1
+        while True:
+            self._limiter.before_request()
+            response = self._client.get_or_none(
+                f"{self.BASE}/{gab_id}/{relation}", params={"page": page}
+            )
+            if response is None:
+                break
+            self._limiter.after_response(response)
+            if response.status == 429:
+                continue   # limiter sleeps to the reset on the next call
+            if response.status != 200:
+                break
+            payload = response.json()
+            if not isinstance(payload, list) or not payload:
+                break
+            collected.extend(int(entry["id"]) for entry in payload)
+            page += 1
+        return collected
+
+    def crawl(self, gab_ids: Iterable[int]) -> SocialCrawlResult:
+        """Gather both relationship directions for every given account."""
+        result = SocialCrawlResult()
+        before = self._client.stats.requests
+        for gab_id in gab_ids:
+            result.followers[gab_id] = self._paged_ids(gab_id, "followers")
+            result.following[gab_id] = self._paged_ids(gab_id, "following")
+        result.requests_made = self._client.stats.requests - before
+        result.seconds_waited = self._limiter.total_waited
+        return result
+
+
+def induce_dissenter_graph(
+    crawl: SocialCrawlResult,
+    dissenter_gab_ids: Iterable[int],
+) -> nx.DiGraph:
+    """Induce the Dissenter-only directed follow graph.
+
+    Nodes are the given Dissenter users' Gab IDs (all of them, including
+    isolated users — §4.5.1 counts users with no edges).  An edge u -> v
+    means u follows v; edges touching non-Dissenter accounts are dropped.
+    """
+    members = set(dissenter_gab_ids)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(members)
+    for target, followers in crawl.followers.items():
+        if target not in members:
+            continue
+        for source in followers:
+            if source in members:
+                graph.add_edge(source, target)
+    for source, targets in crawl.following.items():
+        if source not in members:
+            continue
+        for target in targets:
+            if target in members:
+                graph.add_edge(source, target)
+    return graph

@@ -1,0 +1,94 @@
+"""Gab Trends crawling (§2.1).
+
+Gab Trends is the second access path onto Dissenter threads: a news
+aggregation portal whose article entries link to the same comment pages
+the browser overlay shows.  The paper notes "the comment thread visible
+via the Dissenter browser and Gab Trends is identical" — this crawler
+collects the Trends front page and verifies that identity empirically,
+and exercises the URL-submission flow.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.crawler.parsing import parse_comment_page
+from repro.crawler.records import CrawledComment, CrawledUrl
+from repro.net.client import HttpClient
+
+__all__ = ["TrendsCrawler", "TrendsFrontPage"]
+
+_ARTICLE_RE = re.compile(
+    r'<li class="article">'
+    r'<a href="https://dissenter\.com/discussion/([0-9a-f]{24})">(.*?)</a>'
+    r'<span class="comment-count">(\d+)</span></li>',
+    re.DOTALL,
+)
+
+
+@dataclass
+class TrendsFrontPage:
+    """The Trends homepage: articles with their advertised comment counts."""
+
+    articles: list[tuple[str, str, int]] = field(default_factory=list)
+    # (commenturl_id, title, advertised_comment_count)
+
+    def commenturl_ids(self) -> list[str]:
+        return [cid for cid, _title, _count in self.articles]
+
+
+class TrendsCrawler:
+    """Crawls trends.gab.com and cross-checks it against dissenter.com."""
+
+    TRENDS = "https://trends.gab.com"
+    DISSENTER = "https://dissenter.com"
+
+    def __init__(self, client: HttpClient):
+        self._client = client
+
+    def front_page(self) -> TrendsFrontPage:
+        """Fetch and parse the Trends homepage."""
+        response = self._client.get(f"{self.TRENDS}/")
+        page = TrendsFrontPage()
+        for match in _ARTICLE_RE.finditer(response.text):
+            cid, title, count = match.groups()
+            page.articles.append((cid, title, int(count)))
+        return page
+
+    def thread_via_trends(
+        self, commenturl_id: str
+    ) -> tuple[CrawledUrl | None, list[CrawledComment]]:
+        """Fetch a discussion by following the Trends link."""
+        response = self._client.get_or_none(
+            f"{self.DISSENTER}/discussion/{commenturl_id}"
+        )
+        if response is None or response.status != 200:
+            return None, []
+        return parse_comment_page(response.text)
+
+    def verify_thread_identity(self, front: TrendsFrontPage) -> dict[str, bool]:
+        """§2.1's identity property: Trends' advertised comment count must
+        match the thread the Dissenter comment page serves.
+
+        Returns {commenturl_id: matches}.
+        """
+        outcomes: dict[str, bool] = {}
+        for commenturl_id, _title, advertised in front.articles:
+            _url, comments = self.thread_via_trends(commenturl_id)
+            outcomes[commenturl_id] = len(comments) == advertised
+        return outcomes
+
+    def submit_url(self, url: str) -> str | None:
+        """Exercise the submission flow; returns the final discussion URL.
+
+        Trends redirects submissions into Dissenter's ``/discussion/begin``
+        flow, which lands on the existing comment page for known URLs or
+        an empty new-discussion page otherwise.
+        """
+        response = self._client.get_or_none(
+            f"{self.TRENDS}/submit", params={"url": url}
+        )
+        if response is None or not response.ok:
+            return None
+        return response.url

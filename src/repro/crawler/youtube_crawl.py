@@ -1,0 +1,78 @@
+"""The YouTube render crawler (§3.3).
+
+Dissenter's own comment pages show "/watch" titles and empty descriptions
+for YouTube URLs, so the paper drove Selenium against YouTube to read the
+metadata out of the JavaScript.  Our equivalent "render" step fetches the
+page, follows youtu.be redirects, and executes the extraction against the
+``ytInitialData`` blob — a plain HTML-title scraper would recover nothing
+(a property the test suite asserts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+from urllib.parse import urlsplit
+
+from repro.crawler.parsing import parse_youtube_page
+from repro.crawler.records import CrawledYouTubeItem
+from repro.net.client import HttpClient
+
+__all__ = ["YouTubeCrawler", "YouTubeCrawlResult", "is_youtube_url"]
+
+
+def is_youtube_url(url: str) -> bool:
+    """Whether a URL points at YouTube content (incl. youtu.be links)."""
+    host = urlsplit(url).netloc.lower()
+    return host in ("youtube.com", "www.youtube.com", "youtu.be")
+
+
+@dataclass
+class YouTubeCrawlResult:
+    """All recovered YouTube metadata, keyed by original URL."""
+
+    items: dict[str, CrawledYouTubeItem] = field(default_factory=dict)
+    fetch_failures: list[str] = field(default_factory=list)
+
+    def videos(self) -> list[CrawledYouTubeItem]:
+        return [i for i in self.items.values() if i.kind == "video"]
+
+    def active_videos(self) -> list[CrawledYouTubeItem]:
+        return [i for i in self.videos() if i.is_active]
+
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for item in self.videos():
+            counts[item.status] = counts.get(item.status, 0) + 1
+        return counts
+
+
+class YouTubeCrawler:
+    """Fetch-and-render crawler for YouTube URLs."""
+
+    def __init__(self, client: HttpClient):
+        self._client = client
+
+    def render(self, url: str) -> CrawledYouTubeItem | None:
+        """Fetch one URL (following redirects) and extract the JS blob."""
+        fetch_url = url
+        if fetch_url.startswith("http://"):
+            fetch_url = "https://" + fetch_url[len("http://"):]
+        response = self._client.get_or_none(fetch_url)
+        if response is None or response.status != 200:
+            return None
+        item = parse_youtube_page(url, response.text)
+        return item
+
+    def crawl(self, urls: Iterable[str]) -> YouTubeCrawlResult:
+        """Render every YouTube URL in the iterable."""
+        result = YouTubeCrawlResult()
+        for url in urls:
+            if not is_youtube_url(url):
+                continue
+            item = self.render(url)
+            if item is None:
+                result.fetch_failures.append(url)
+                continue
+            result.items[url] = item
+        return result

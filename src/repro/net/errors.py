@@ -1,0 +1,68 @@
+"""Exception hierarchy for the networking substrate.
+
+Mirrors the error taxonomy of real HTTP client libraries so crawler code is
+written exactly as it would be against a live platform: transport-level
+failures (connect, timeout) are distinct from protocol-level ones (bad
+status), and rate-limit exhaustion is its own signal.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ConnectError",
+    "HTTPStatusError",
+    "NetworkError",
+    "RateLimitExceeded",
+    "TimeoutError",
+    "TooManyRedirects",
+]
+
+
+class NetworkError(Exception):
+    """Base class for all substrate errors."""
+
+
+class ConnectError(NetworkError):
+    """No origin is registered for the requested host (DNS/connect failure)."""
+
+    def __init__(self, host: str):
+        super().__init__(f"cannot connect to host {host!r}")
+        self.host = host
+
+
+class TimeoutError(NetworkError):
+    """The (simulated) request exceeded its deadline."""
+
+    def __init__(self, url: str, timeout: float):
+        super().__init__(f"request to {url} timed out after {timeout:.3f}s")
+        self.url = url
+        self.timeout = timeout
+
+
+class TooManyRedirects(NetworkError):
+    """Redirect chain exceeded the client's limit."""
+
+    def __init__(self, url: str, limit: int):
+        super().__init__(f"exceeded {limit} redirects fetching {url}")
+        self.url = url
+        self.limit = limit
+
+
+class HTTPStatusError(NetworkError):
+    """Raised by ``Response.raise_for_status`` on 4xx/5xx responses."""
+
+    def __init__(self, status: int, url: str):
+        super().__init__(f"HTTP {status} for {url}")
+        self.status = status
+        self.url = url
+
+
+class RateLimitExceeded(NetworkError):
+    """A client-side limiter refused to issue the request."""
+
+    def __init__(self, key: str, retry_after: float):
+        super().__init__(
+            f"rate limit exhausted for {key!r}; retry after {retry_after:.3f}s"
+        )
+        self.key = key
+        self.retry_after = retry_after

@@ -1,0 +1,127 @@
+"""Server-side request routing for the synthetic origins.
+
+Each synthetic site (dissenter.com, gab.com, youtube.com, …) is an
+:class:`App`: an ordered list of routes whose patterns may contain
+``{placeholder}`` segments.  Handlers receive the request and the extracted
+path parameters and return a :class:`~repro.net.http.Response`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.http import Request, Response
+
+__all__ = ["App", "Route", "RouteHandler"]
+
+RouteHandler = Callable[[Request, dict[str, str]], Response]
+
+_PLACEHOLDER_RE = re.compile(r"\{(\w+)\}")
+
+
+def _compile_pattern(pattern: str) -> re.Pattern[str]:
+    """Compile ``/user/{name}`` into a regex with named groups.
+
+    A placeholder matches one path segment; a trailing ``{rest:path}``-style
+    greedy capture is spelled ``{name...}`` and matches the remainder of the
+    path including slashes.
+    """
+    parts: list[str] = []
+    index = 0
+    for match in re.finditer(r"\{(\w+)(\.\.\.)?\}", pattern):
+        parts.append(re.escape(pattern[index : match.start()]))
+        name, greedy = match.group(1), match.group(2)
+        if greedy:
+            parts.append(f"(?P<{name}>.+)")
+        else:
+            parts.append(f"(?P<{name}>[^/]+)")
+        index = match.end()
+    parts.append(re.escape(pattern[index:]))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+@dataclass
+class Route:
+    """A compiled route: method + path pattern + handler."""
+
+    method: str
+    pattern: str
+    handler: RouteHandler
+    regex: re.Pattern[str]
+
+    def match(self, method: str, path: str) -> dict[str, str] | None:
+        if method != self.method:
+            return None
+        found = self.regex.match(path)
+        if found is None:
+            return None
+        return found.groupdict()
+
+
+class App:
+    """A synthetic origin server application.
+
+    Usage::
+
+        app = App("dissenter.com")
+
+        @app.get("/user/{username}")
+        def user_page(request, params):
+            return Response.html(...)
+    """
+
+    def __init__(self, host: str):
+        self.host = host.lower()
+        self._routes: list[Route] = []
+        self._middleware: list[Callable[[Request], Response | None]] = []
+
+    def add_route(self, method: str, pattern: str, handler: RouteHandler) -> None:
+        self._routes.append(
+            Route(
+                method=method.upper(),
+                pattern=pattern,
+                handler=handler,
+                regex=_compile_pattern(pattern),
+            )
+        )
+
+    def get(self, pattern: str) -> Callable[[RouteHandler], RouteHandler]:
+        """Decorator registering a GET route."""
+        def register(handler: RouteHandler) -> RouteHandler:
+            self.add_route("GET", pattern, handler)
+            return handler
+        return register
+
+    def post(self, pattern: str) -> Callable[[RouteHandler], RouteHandler]:
+        """Decorator registering a POST route."""
+        def register(handler: RouteHandler) -> RouteHandler:
+            self.add_route("POST", pattern, handler)
+            return handler
+        return register
+
+    def use(self, middleware: Callable[[Request], Response | None]) -> None:
+        """Register middleware that may short-circuit a request.
+
+        Middleware runs before routing; returning a Response (e.g. a 429
+        from a rate limiter) stops dispatch, returning None continues.
+        """
+        self._middleware.append(middleware)
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch a request to the first matching route."""
+        for middleware in self._middleware:
+            early = middleware(request)
+            if early is not None:
+                early.url = request.url
+                return early
+        for route in self._routes:
+            params = route.match(request.method, request.path)
+            if params is not None:
+                response = route.handler(request, params)
+                response.url = request.url
+                return response
+        response = Response.not_found()
+        response.url = request.url
+        return response

@@ -1,0 +1,65 @@
+"""Natural-language processing substrate.
+
+The paper scores 1.68M comments with three independent classifiers (§3.5):
+a Hatebase-style dictionary, the Perspective API, and an SVM trained on a
+labelled Twitter corpus; it also language-identifies every comment with
+``langid``.  This package implements all of the shared machinery from
+scratch: tokenisation, Porter stemming, n-gram extraction, count/TF-IDF
+vectorisation, the dictionary scorer, a naive-Bayes character-n-gram
+language identifier, ADASYN oversampling, a linear SVM trained with SGD on
+the hinge loss, one-vs-rest multiclass wrapping, and grid-search model
+selection with stratified cross-validation.
+"""
+
+from repro.nlp.adasyn import adasyn_oversample
+from repro.nlp.classifier import CommentClassifier, TrainedCommentClassifier
+from repro.nlp.dictionary import HateDictionary, build_synthetic_hatebase
+from repro.nlp.langid import LanguageIdentifier, default_language_identifier
+from repro.nlp.model_select import (
+    CrossValResult,
+    GridSearchResult,
+    confusion_matrix,
+    cross_validate,
+    f1_score,
+    grid_search,
+    macro_f1,
+)
+from repro.nlp.ngrams import extract_ngrams, ngram_counts
+from repro.nlp.stem import PorterStemmer, stem
+from repro.nlp.mlp import MLPClassifier
+from repro.nlp.svm import LinearSVM, OneVsRestSVM
+from repro.nlp.tree import DecisionTreeClassifier
+from repro.nlp.tokenize import clean_text, tokenize
+from repro.nlp.train_data import LabeledCorpus, build_davidson_style_corpus
+from repro.nlp.vectorize import CountVectorizer, TfidfVectorizer
+
+__all__ = [
+    "CommentClassifier",
+    "CountVectorizer",
+    "CrossValResult",
+    "GridSearchResult",
+    "HateDictionary",
+    "LabeledCorpus",
+    "LanguageIdentifier",
+    "DecisionTreeClassifier",
+    "LinearSVM",
+    "MLPClassifier",
+    "OneVsRestSVM",
+    "PorterStemmer",
+    "TfidfVectorizer",
+    "TrainedCommentClassifier",
+    "adasyn_oversample",
+    "build_davidson_style_corpus",
+    "build_synthetic_hatebase",
+    "clean_text",
+    "confusion_matrix",
+    "cross_validate",
+    "default_language_identifier",
+    "extract_ngrams",
+    "f1_score",
+    "grid_search",
+    "macro_f1",
+    "ngram_counts",
+    "stem",
+    "tokenize",
+]

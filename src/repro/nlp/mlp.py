@@ -1,0 +1,122 @@
+"""A small feed-forward neural network, from scratch.
+
+The third contender in §3.5.3's model comparison.  One hidden ReLU layer,
+softmax output, cross-entropy loss, mini-batch SGD with momentum — a
+deliberately period-appropriate architecture (the paper predates the
+everything-is-a-transformer era, and its authors would have reached for
+exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MLPClassifier"]
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """One-hidden-layer network for multiclass text features.
+
+    Args:
+        hidden: hidden-layer width.
+        epochs: passes over the training data.
+        batch_size: mini-batch size.
+        learning_rate: SGD step size.
+        momentum: classical momentum coefficient.
+        l2: weight decay.
+        seed: init/shuffle seed.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 64,
+        epochs: int = 30,
+        batch_size: int = 32,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        if hidden < 1 or epochs < 1 or batch_size < 1:
+            raise ValueError("hidden, epochs and batch_size must be >= 1")
+        self._hidden = hidden
+        self._epochs = epochs
+        self._batch = batch_size
+        self._lr = learning_rate
+        self._momentum = momentum
+        self._l2 = l2
+        self._seed = seed
+        self.classes_: np.ndarray | None = None
+        self._w1: np.ndarray | None = None
+        self._b1: np.ndarray | None = None
+        self._w2: np.ndarray | None = None
+        self._b2: np.ndarray | None = None
+
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        hidden = np.maximum(0.0, x @ self._w1 + self._b1)
+        return hidden, _softmax(hidden @ self._w2 + self._b2)
+
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "MLPClassifier":
+        """Train with mini-batch SGD."""
+        x = np.asarray(features, dtype=np.float64)
+        y_raw = np.asarray(labels)
+        if x.ndim != 2 or x.shape[0] != y_raw.shape[0]:
+            raise ValueError("features/labels shape mismatch")
+        self.classes_ = np.unique(y_raw)
+        index = {cls: i for i, cls in enumerate(self.classes_)}
+        y = np.asarray([index[v] for v in y_raw])
+        n, d = x.shape
+        k = self.classes_.size
+
+        rng = np.random.default_rng(self._seed)
+        self._w1 = rng.normal(0, np.sqrt(2.0 / d), size=(d, self._hidden))
+        self._b1 = np.zeros(self._hidden)
+        self._w2 = rng.normal(0, np.sqrt(2.0 / self._hidden),
+                              size=(self._hidden, k))
+        self._b2 = np.zeros(k)
+        velocity = [np.zeros_like(p) for p in
+                    (self._w1, self._b1, self._w2, self._b2)]
+
+        one_hot = np.eye(k)[y]
+        for _ in range(self._epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self._batch):
+                batch = order[start:start + self._batch]
+                xb, tb = x[batch], one_hot[batch]
+                hidden, probs = self._forward(xb)
+                m = xb.shape[0]
+
+                d_logits = (probs - tb) / m
+                grad_w2 = hidden.T @ d_logits + self._l2 * self._w2
+                grad_b2 = d_logits.sum(axis=0)
+                d_hidden = (d_logits @ self._w2.T) * (hidden > 0)
+                grad_w1 = xb.T @ d_hidden + self._l2 * self._w1
+                grad_b1 = d_hidden.sum(axis=0)
+
+                params = (self._w1, self._b1, self._w2, self._b2)
+                grads = (grad_w1, grad_b1, grad_w2, grad_b2)
+                for i, (param, grad) in enumerate(zip(params, grads)):
+                    velocity[i] = self._momentum * velocity[i] - self._lr * grad
+                    param += velocity[i]
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        if self._w1 is None:
+            raise RuntimeError("model must be fitted before prediction")
+        x = np.asarray(features, dtype=np.float64)
+        _, probs = self._forward(x)
+        return probs
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class labels."""
+        probs = self.predict_proba(features)
+        return self.classes_[np.argmax(probs, axis=1)]

@@ -1,0 +1,209 @@
+"""Model evaluation and selection: metrics, cross-validation, grid search.
+
+The paper tunes SVM hyperparameters with grid search and reports an F1
+score of 0.87 under 5-fold cross-validation (§3.5.3).  This module supplies
+the scaffolding: confusion matrices, per-class and macro F1, stratified
+k-fold cross-validation, and exhaustive grid search over a hyperparameter
+dictionary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.sampling import stratified_indices
+
+__all__ = [
+    "CrossValResult",
+    "GridSearchResult",
+    "confusion_matrix",
+    "cross_validate",
+    "f1_score",
+    "grid_search",
+    "macro_f1",
+    "weighted_f1",
+]
+
+ModelFactory = Callable[..., Any]
+
+
+def confusion_matrix(
+    true_labels: Sequence[int],
+    predicted_labels: Sequence[int],
+    classes: Sequence[int] | None = None,
+) -> tuple[np.ndarray, list]:
+    """Confusion matrix C where C[i, j] = count(true=i, predicted=j).
+
+    Returns the matrix and the class ordering used for its axes.
+    """
+    y_true = np.asarray(true_labels)
+    y_pred = np.asarray(predicted_labels)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have equal shape")
+    class_list = (
+        list(classes)
+        if classes is not None
+        else sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    )
+    index = {cls: i for i, cls in enumerate(class_list)}
+    matrix = np.zeros((len(class_list), len(class_list)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix, class_list
+
+
+def f1_score(
+    true_labels: Sequence[int],
+    predicted_labels: Sequence[int],
+    positive_class: int,
+) -> float:
+    """F1 of a single class treated as the positive label."""
+    y_true = np.asarray(true_labels)
+    y_pred = np.asarray(predicted_labels)
+    tp = int(np.sum((y_true == positive_class) & (y_pred == positive_class)))
+    fp = int(np.sum((y_true != positive_class) & (y_pred == positive_class)))
+    fn = int(np.sum((y_true == positive_class) & (y_pred != positive_class)))
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+def macro_f1(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    classes = sorted(set(np.asarray(true_labels).tolist()))
+    if not classes:
+        raise ValueError("no labels supplied")
+    return float(
+        np.mean([f1_score(true_labels, predicted_labels, cls) for cls in classes])
+    )
+
+
+def weighted_f1(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> float:
+    """Support-weighted mean of per-class F1 (scikit-learn's 'weighted')."""
+    y_true = np.asarray(true_labels)
+    classes, counts = np.unique(y_true, return_counts=True)
+    total = counts.sum()
+    return float(
+        sum(
+            (count / total) * f1_score(y_true, predicted_labels, cls)
+            for cls, count in zip(classes, counts)
+        )
+    )
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    """Per-fold and aggregate cross-validation scores."""
+
+    fold_scores: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.fold_scores))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.fold_scores))
+
+
+def cross_validate(
+    model_factory: ModelFactory,
+    features: np.ndarray,
+    labels: Sequence[int],
+    n_folds: int = 5,
+    metric: Callable[[Sequence[int], Sequence[int]], float] = weighted_f1,
+    seed: int = 0,
+    resampler: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
+    | None = None,
+) -> CrossValResult:
+    """Stratified k-fold cross-validation.
+
+    Args:
+        model_factory: zero-argument callable returning a fresh, unfitted
+            model with ``fit``/``predict`` methods.
+        features: (n, d) feature matrix.
+        labels: class labels.
+        n_folds: number of folds (the paper uses 5).
+        metric: scoring function over (true, predicted).
+        seed: fold-assignment seed.
+        resampler: optional (x, y) -> (x, y) transform applied to the
+            *training* portion of each fold only — this is where ADASYN
+            plugs in, so synthetic points never leak into evaluation.
+    """
+    x = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels)
+    folds = stratified_indices(y, n_folds, seed=seed)
+    scores: list[float] = []
+    for fold in folds:
+        test_mask = np.zeros(y.shape[0], dtype=bool)
+        test_mask[fold] = True
+        x_train, y_train = x[~test_mask], y[~test_mask]
+        if resampler is not None:
+            x_train, y_train = resampler(x_train, y_train)
+        model = model_factory()
+        model.fit(x_train, y_train)
+        predictions = model.predict(x[test_mask])
+        scores.append(metric(y[test_mask], predictions))
+    return CrossValResult(fold_scores=tuple(scores))
+
+
+@dataclass
+class GridSearchResult:
+    """Best hyperparameters and the full score table."""
+
+    best_params: dict[str, Any]
+    best_score: float
+    all_results: list[tuple[dict[str, Any], CrossValResult]] = field(
+        default_factory=list
+    )
+
+
+def grid_search(
+    model_factory: ModelFactory,
+    param_grid: Mapping[str, Sequence[Any]],
+    features: np.ndarray,
+    labels: Sequence[int],
+    n_folds: int = 5,
+    metric: Callable[[Sequence[int], Sequence[int]], float] = weighted_f1,
+    seed: int = 0,
+    resampler: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
+    | None = None,
+) -> GridSearchResult:
+    """Exhaustive grid search with stratified cross-validation.
+
+    ``model_factory`` is called with each combination of keyword arguments
+    drawn from ``param_grid``.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must not be empty")
+    names = sorted(param_grid)
+    combos = list(itertools.product(*(param_grid[name] for name in names)))
+    best_params: dict[str, Any] | None = None
+    best_result: CrossValResult | None = None
+    table: list[tuple[dict[str, Any], CrossValResult]] = []
+    for combo in combos:
+        params = dict(zip(names, combo))
+        result = cross_validate(
+            lambda params=params: model_factory(**params),
+            features,
+            labels,
+            n_folds=n_folds,
+            metric=metric,
+            seed=seed,
+            resampler=resampler,
+        )
+        table.append((params, result))
+        if best_result is None or result.mean > best_result.mean:
+            best_params, best_result = params, result
+    assert best_params is not None and best_result is not None
+    return GridSearchResult(
+        best_params=best_params,
+        best_score=best_result.mean,
+        all_results=table,
+    )

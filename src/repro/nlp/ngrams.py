@@ -1,0 +1,56 @@
+"""Word and character n-gram extraction.
+
+Word 1- and 2-grams feed the SVM classifier features (§3.5.3); character
+n-grams feed the naive-Bayes language identifier.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = ["extract_ngrams", "ngram_counts", "char_ngrams"]
+
+
+def extract_ngrams(tokens: Sequence[str], orders: Iterable[int] = (1, 2)) -> list[str]:
+    """Extract word n-grams of the given orders.
+
+    N-grams of order > 1 are joined with an underscore, e.g.
+    ``["free", "speech"] -> ["free", "speech", "free_speech"]``.
+    """
+    grams: list[str] = []
+    for order in orders:
+        if order < 1:
+            raise ValueError(f"n-gram order must be >= 1, got {order}")
+        if order == 1:
+            grams.extend(tokens)
+            continue
+        for i in range(len(tokens) - order + 1):
+            grams.append("_".join(tokens[i : i + order]))
+    return grams
+
+
+def ngram_counts(
+    tokens: Sequence[str], orders: Iterable[int] = (1, 2)
+) -> Counter[str]:
+    """Counter of word n-grams (convenience wrapper)."""
+    return Counter(extract_ngrams(tokens, orders))
+
+
+def char_ngrams(text: str, order: int = 3, pad: bool = True) -> list[str]:
+    """Character n-grams of a string.
+
+    Args:
+        text: input text (case is preserved by the caller's choice).
+        order: n-gram length.
+        pad: surround the text with ``order - 1`` boundary markers so that
+            word-initial and word-final character patterns are represented.
+    """
+    if order < 1:
+        raise ValueError(f"char n-gram order must be >= 1, got {order}")
+    if pad and order > 1:
+        padding = "\x00" * (order - 1)
+        text = padding + text + padding
+    if len(text) < order:
+        return []
+    return [text[i : i + order] for i in range(len(text) - order + 1)]

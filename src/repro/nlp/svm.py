@@ -1,0 +1,162 @@
+"""Linear support-vector machines trained with stochastic gradient descent.
+
+Section 3.5.3 of the paper experiments with neural networks, decision trees,
+and SVMs on 1/2-gram features, finding SVMs best (F1 = 0.87 with 5-fold
+CV).  We implement a linear SVM from scratch: the primal L2-regularised
+hinge-loss objective minimised with the Pegasos-style SGD schedule, plus a
+one-vs-rest wrapper for the three-class (hate / offensive / neither)
+problem.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearSVM", "OneVsRestSVM"]
+
+
+class LinearSVM:
+    """Binary linear SVM (labels in {-1, +1}).
+
+    Minimises ``lambda/2 ||w||^2 + mean(hinge(y (w.x + b)))`` with the
+    Pegasos learning-rate schedule ``eta_t = 1 / (lambda * t)``.
+
+    Args:
+        regularization: lambda; larger values mean a wider margin and more
+            regularisation.
+        epochs: passes over the training data.
+        seed: RNG seed for the shuffle order.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-4,
+        epochs: int = 10,
+        seed: int = 0,
+    ):
+        if regularization <= 0:
+            raise ValueError("regularization must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self._lambda = regularization
+        self._epochs = epochs
+        self._seed = seed
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.weights_ is not None
+
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "LinearSVM":
+        """Train on a dense feature matrix and +/-1 labels."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if y.shape[0] != x.shape[0]:
+            raise ValueError("features and labels must have equal length")
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise ValueError("labels must be -1 or +1")
+
+        n_samples, n_features = x.shape
+        rng = np.random.default_rng(self._seed)
+        # The bias is trained as a weight on a constant feature, so the
+        # Pegasos step bounds apply to it too (a free bias with the
+        # 1/(lambda*t) schedule diverges on its first steps).
+        augmented = np.hstack([x, np.ones((n_samples, 1))])
+        w = np.zeros(n_features + 1)
+        t = 0
+        for _ in range(self._epochs):
+            order = rng.permutation(n_samples)
+            for i in order:
+                t += 1
+                eta = 1.0 / (self._lambda * t)
+                margin = y[i] * (augmented[i] @ w)
+                w *= 1.0 - eta * self._lambda
+                if margin < 1.0:
+                    w += eta * y[i] * augmented[i]
+                # Pegasos projection step: keep ||w|| <= 1/sqrt(lambda).
+                norm = np.linalg.norm(w)
+                radius = 1.0 / np.sqrt(self._lambda)
+                if norm > radius:
+                    w *= radius / norm
+        self.weights_ = w[:-1]
+        self.bias_ = float(w[-1])
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed distance to the separating hyperplane."""
+        if self.weights_ is None:
+            raise RuntimeError("model must be fitted before prediction")
+        x = np.asarray(features, dtype=np.float64)
+        return x @ self.weights_ + self.bias_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted labels in {-1, +1}."""
+        return np.where(self.decision_function(features) >= 0.0, 1, -1)
+
+
+class OneVsRestSVM:
+    """Multiclass SVM via one-vs-rest decomposition.
+
+    The paper "compute[s] the probability of each of the three possible
+    classes for all Dissenter comments"; we expose a softmax over the
+    per-class decision values as :meth:`predict_proba`.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-4,
+        epochs: int = 10,
+        seed: int = 0,
+    ):
+        self._regularization = regularization
+        self._epochs = epochs
+        self._seed = seed
+        self.classes_: np.ndarray | None = None
+        self._models: list[LinearSVM] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.classes_ is not None
+
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "OneVsRestSVM":
+        """Train one binary SVM per distinct class label."""
+        y = np.asarray(labels)
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("need at least two classes")
+        self._models = []
+        for index, cls in enumerate(self.classes_):
+            binary = np.where(y == cls, 1, -1)
+            model = LinearSVM(
+                regularization=self._regularization,
+                epochs=self._epochs,
+                seed=self._seed + index,
+            )
+            model.fit(features, binary)
+            self._models.append(model)
+        return self
+
+    def decision_matrix(self, features: np.ndarray) -> np.ndarray:
+        """(n_samples, n_classes) matrix of per-class decision values."""
+        if self.classes_ is None:
+            raise RuntimeError("model must be fitted before prediction")
+        return np.column_stack(
+            [model.decision_function(features) for model in self._models]
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Class with the highest decision value."""
+        scores = self.decision_matrix(features)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Softmax over decision values (a calibrated-ish probability)."""
+        scores = self.decision_matrix(features)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,196 @@
+"""Decision-tree classifier (CART), from scratch.
+
+§3.5.3: "We experiment with neural networks, decision trees, and support
+vector machines (SVMs) ... we achieve the highest accuracy using SVMs."
+To reproduce that model *comparison*, the losing models must exist too.
+This is a standard CART implementation: binary splits on single features,
+Gini impurity, depth/leaf-size stopping rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a class distribution."""
+
+    prediction: int
+    class_counts: np.ndarray
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return 1.0 - float((proportions ** 2).sum())
+
+
+class DecisionTreeClassifier:
+    """CART classifier over dense features.
+
+    Args:
+        max_depth: maximum tree depth.
+        min_samples_split: do not split nodes smaller than this.
+        max_candidate_thresholds: per feature, candidate split thresholds
+            are quantiles of the observed values capped at this count —
+            text-count features have few distinct values, so this is
+            rarely binding but bounds worst-case fit time.
+        seed: feature subsampling seed (all features are used when the
+            feature count is small; a sqrt subsample otherwise).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        max_candidate_thresholds: int = 16,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self._max_depth = max_depth
+        self._min_split = min_samples_split
+        self._max_thresholds = max_candidate_thresholds
+        self._seed = seed
+        self._root: _Node | None = None
+        self.classes_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=self.classes_.size)
+        return _Node(prediction=int(np.argmax(counts)), class_counts=counts)
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, features: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        parent_counts = np.bincount(y, minlength=self.classes_.size)
+        parent_gini = _gini(parent_counts)
+        n = y.size
+        best: tuple[int, float, float] | None = None
+        best_gain = 1e-12
+        for feature in features:
+            values = x[:, feature]
+            distinct = np.unique(values)
+            if distinct.size < 2:
+                continue
+            if distinct.size > self._max_thresholds:
+                quantiles = np.linspace(0, 100, self._max_thresholds + 2)[1:-1]
+                candidates = np.unique(np.percentile(values, quantiles))
+            else:
+                candidates = (distinct[:-1] + distinct[1:]) / 2.0
+            for threshold in candidates:
+                mask = values <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == n:
+                    continue
+                left_counts = np.bincount(
+                    y[mask], minlength=self.classes_.size
+                )
+                right_counts = parent_counts - left_counts
+                gain = parent_gini - (
+                    n_left / n * _gini(left_counts)
+                    + (n - n_left) / n * _gini(right_counts)
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), float(gain))
+        return best
+
+    def _grow(
+        self, x: np.ndarray, y: np.ndarray, depth: int,
+        rng: np.random.Generator,
+    ) -> _Node:
+        if (
+            depth >= self._max_depth
+            or y.size < self._min_split
+            or np.unique(y).size == 1
+        ):
+            return self._leaf(y)
+        n_features = x.shape[1]
+        if n_features > 256:
+            k = max(16, int(np.sqrt(n_features)))
+            features = rng.choice(n_features, size=k, replace=False)
+        else:
+            features = np.arange(n_features)
+        split = self._best_split(x, y, features)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold, _gain = split
+        mask = x[:, feature] <= threshold
+        node = self._leaf(y)
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    # ------------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "DecisionTreeClassifier":
+        """Grow the tree."""
+        x = np.asarray(features, dtype=np.float64)
+        y_raw = np.asarray(labels)
+        if x.ndim != 2 or x.shape[0] != y_raw.shape[0]:
+            raise ValueError("features/labels shape mismatch")
+        self.classes_ = np.unique(y_raw)
+        index = {cls: i for i, cls in enumerate(self.classes_)}
+        y = np.asarray([index[v] for v in y_raw])
+        rng = np.random.default_rng(self._seed)
+        self._root = self._grow(x, y, depth=0, rng=rng)
+        return self
+
+    def _walk(self, row: np.ndarray) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        if self._root is None:
+            raise RuntimeError("tree must be fitted before prediction")
+        x = np.asarray(features, dtype=np.float64)
+        return self.classes_[
+            np.asarray([self._walk(row).prediction for row in x])
+        ]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Leaf class distributions."""
+        if self._root is None:
+            raise RuntimeError("tree must be fitted before prediction")
+        x = np.asarray(features, dtype=np.float64)
+        rows = []
+        for row in x:
+            counts = self._walk(row).class_counts.astype(float)
+            total = counts.sum()
+            rows.append(counts / total if total else counts)
+        return np.asarray(rows)
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        if self._root is None:
+            raise RuntimeError("tree must be fitted first")
+        return walk(self._root)

@@ -1,0 +1,153 @@
+"""The Perspective API as an HTTP origin.
+
+The paper called a network service; for full fidelity this module exposes
+the local models behind the real API's wire shape —
+``POST /v1alpha1/comments:analyze`` with the AnalyzeComment JSON request
+and response bodies — plus a client that speaks it over the loopback
+transport.  Quota exhaustion surfaces as HTTP 429 with a Retry-After
+header, which the substrate's client machinery already knows how to wait
+out.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.net.client import HttpClient
+from repro.net.http import Request, Response
+from repro.net.router import App
+from repro.perspective.models import ATTRIBUTES, PerspectiveModels
+
+__all__ = ["HttpPerspectiveClient", "PerspectiveHttpApp"]
+
+API_HOST = "perspectiveapi.invalid"
+ANALYZE_PATH = "/v1alpha1/comments:analyze"
+
+
+class PerspectiveHttpApp(App):
+    """Origin serving the AnalyzeComment endpoint.
+
+    Args:
+        models: shared scoring models.
+        daily_quota: requests allowed per 86,400 simulated seconds
+            (None = unlimited).
+        clock: time source for quota windows (only needed with a quota).
+    """
+
+    def __init__(
+        self,
+        models: PerspectiveModels | None = None,
+        daily_quota: int | None = None,
+        clock=None,
+    ):
+        super().__init__(API_HOST)
+        self._models = models or PerspectiveModels()
+        self._quota = daily_quota
+        self._clock = clock
+        self._window_start = clock.now() if clock is not None else 0.0
+        self._used = 0
+        self.add_route("POST", ANALYZE_PATH, self._analyze)
+
+    def _quota_exceeded(self) -> Response | None:
+        if self._quota is None:
+            return None
+        if self._clock is not None:
+            now = self._clock.now()
+            if now - self._window_start >= 86_400:
+                self._window_start = now
+                self._used = 0
+        if self._used >= self._quota:
+            response = Response.json_response(
+                {"error": {"code": 429, "status": "RESOURCE_EXHAUSTED"}},
+                status=429,
+            )
+            if self._clock is not None:
+                remaining = 86_400 - (self._clock.now() - self._window_start)
+                response.headers.set("Retry-After", f"{max(1, remaining):.0f}")
+            return response
+        self._used += 1
+        return None
+
+    def _analyze(self, request: Request, params: dict[str, str]) -> Response:
+        throttled = self._quota_exceeded()
+        if throttled is not None:
+            return throttled
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return Response.json_response(
+                {"error": {"code": 400, "message": "invalid JSON"}}, status=400
+            )
+        text = payload.get("comment", {}).get("text")
+        requested = payload.get("requestedAttributes", {})
+        if text is None or not requested:
+            return Response.json_response(
+                {"error": {"code": 400, "message": "comment.text and "
+                           "requestedAttributes are required"}},
+                status=400,
+            )
+        unknown = [name for name in requested if name not in ATTRIBUTES]
+        if unknown:
+            return Response.json_response(
+                {"error": {"code": 400,
+                           "message": f"unknown attributes {unknown}"}},
+                status=400,
+            )
+        scores = self._models.score(text)
+        return Response.json_response({
+            "attributeScores": {
+                name: {
+                    "summaryScore": {"value": scores[name], "type": "PROBABILITY"}
+                }
+                for name in requested
+            },
+            "languages": ["en"],
+        })
+
+
+class HttpPerspectiveClient:
+    """AnalyzeComment client over the HTTP substrate.
+
+    Functionally interchangeable with
+    :class:`repro.perspective.api.PerspectiveClient`, but every score
+    crosses the (simulated) wire.
+    """
+
+    def __init__(self, client: HttpClient, host: str = API_HOST):
+        self._client = client
+        self._url = f"https://{host}{ANALYZE_PATH}"
+        self.requests_made = 0
+
+    def analyze(
+        self, text: str, attributes: Iterable[str] = ATTRIBUTES
+    ) -> dict[str, float]:
+        """Score one comment; returns {attribute: summary score}.
+
+        Raises:
+            ValueError: the API rejected the request (HTTP 4xx).
+        """
+        body = json.dumps({
+            "comment": {"text": text},
+            "requestedAttributes": {name: {} for name in attributes},
+        }).encode("utf-8")
+        self.requests_made += 1
+        response = self._client.post(
+            self._url, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        if response.status == 400:
+            raise ValueError(response.json()["error"]["message"])
+        response.raise_for_status()
+        payload = response.json()
+        return {
+            name: entry["summaryScore"]["value"]
+            for name, entry in payload["attributeScores"].items()
+        }
+
+    def analyze_batch(
+        self, texts: Iterable[str], attributes: Iterable[str] = ATTRIBUTES
+    ) -> list[dict[str, float]]:
+        """Score a batch (one request per comment, like the real API)."""
+        requested = tuple(attributes)
+        return [self.analyze(text, requested) for text in texts]

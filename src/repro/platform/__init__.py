@@ -1,0 +1,41 @@
+"""Synthetic Gab + Dissenter world.
+
+The studied platform is defunct, so this package generates a complete,
+deterministic stand-in calibrated to every population statistic the paper
+reports: the Gab account base and its ID-counter anomalies (Fig. 2), the
+Dissenter user subset with attribute flags and view filters (Table 1), the
+commented-URL universe with its TLD/domain mix (Table 2), power-law comment
+activity (Fig. 3), NSFW/offensive shadow content, votes, the follower
+graph, the YouTube video universe, and the Reddit / NY Times / Daily Mail
+baseline corpora (Table 3).
+
+The world is exposed two ways: directly as Python objects (ground truth for
+tests), and as synthetic HTTP origins (`repro.platform.apps`) that the
+crawler package must scrape exactly the way the paper's authors scraped the
+real thing.
+"""
+
+from repro.platform.config import WorldConfig
+from repro.platform.entities import (
+    Comment,
+    CommentUrl,
+    DissenterUser,
+    GabAccount,
+    RedditAccount,
+    YouTubeItem,
+)
+from repro.platform.ids import ObjectId
+from repro.platform.world import World, build_world
+
+__all__ = [
+    "Comment",
+    "CommentUrl",
+    "DissenterUser",
+    "GabAccount",
+    "ObjectId",
+    "RedditAccount",
+    "World",
+    "WorldConfig",
+    "YouTubeItem",
+    "build_world",
+]

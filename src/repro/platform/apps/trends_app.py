@@ -1,0 +1,61 @@
+"""The trends.gab.com origin (§2.1).
+
+Gab Trends is the web portal onto Dissenter threads: a news-aggregation
+homepage whose articles link to the same comment pages the browser shows,
+plus the URL-submission flow.  The comment thread visible through Trends
+is identical to the browser's, so this app simply fronts the Dissenter
+state.
+"""
+
+from __future__ import annotations
+
+from repro.net.http import Request, Response
+from repro.net.router import App
+from repro.platform.apps.html import escape, page, tiny_error
+from repro.platform.dissenter import DissenterState
+
+__all__ = ["TrendsApp"]
+
+HOMEPAGE_ARTICLES = 25
+
+
+class TrendsApp(App):
+    """The trends.gab.com origin."""
+
+    def __init__(self, state: DissenterState):
+        super().__init__("trends.gab.com")
+        self._state = state
+        # Homepage shows the most-commented news URLs.
+        news = [
+            u for u in state.urls.urls
+            if u.category == "news"
+        ]
+        news.sort(
+            key=lambda u: -len(state.visible_comments(u.commenturl_id.hex))
+        )
+        self._front_page = news[:HOMEPAGE_ARTICLES]
+        self.get("/")(self._home)
+        self.get("/submit")(self._submit)
+
+    def _home(self, request: Request, params: dict[str, str]) -> Response:
+        items = []
+        for record in self._front_page:
+            # Advertise the publicly visible thread size (shadow content
+            # is invisible through Trends exactly as through the overlay).
+            count = len(self._state.visible_comments(record.commenturl_id.hex))
+            items.append(
+                f'<li class="article">'
+                f'<a href="https://dissenter.com/discussion/'
+                f'{record.commenturl_id.hex}">{escape(record.title)}</a>'
+                f'<span class="comment-count">{count}</span></li>'
+            )
+        body = '<ul class="articles">\n' + "\n".join(items) + "\n</ul>"
+        return Response.html(page("Gab Trends", body))
+
+    def _submit(self, request: Request, params: dict[str, str]) -> Response:
+        target = request.query.get("url", "")
+        if not target:
+            return Response.html(tiny_error("missing url"), status=400)
+        return Response.redirect(
+            "https://dissenter.com/discussion/begin?url=" + target
+        )

@@ -1,0 +1,81 @@
+"""Dissenter's undocumented 12-byte object identifiers.
+
+Section 2.2 of the paper reverse-engineers the author-id, commenturl-id and
+comment-id formats: 24 hexadecimal digits whose **first 4 bytes are a Unix
+creation timestamp in seconds** ("an account created on February 28, 2019
+at 16:23:53 UTC will have an author-id beginning with 5c780b19"), with
+additional structure in the remaining 16 hex digits that the authors could
+not decode.
+
+This module implements the generator and the decoder.  The remaining 8
+bytes follow the MongoDB ObjectId convention the real system almost
+certainly used (5-byte machine/process random value + 3-byte counter) —
+which *is* additional structure, decodable here but opaque to a crawler,
+matching the paper's observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ObjectId", "ObjectIdFactory"]
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """A 12-byte identifier rendered as 24 lowercase hex digits."""
+
+    hex: str
+
+    def __post_init__(self) -> None:
+        if len(self.hex) != 24:
+            raise ValueError(f"ObjectId must be 24 hex digits, got {self.hex!r}")
+        int(self.hex, 16)  # raises ValueError on non-hex input
+
+    def __str__(self) -> str:
+        return self.hex
+
+    @property
+    def timestamp(self) -> int:
+        """Creation time (Unix seconds) encoded in the first 4 bytes."""
+        return int(self.hex[:8], 16)
+
+    @property
+    def machine(self) -> int:
+        """The 5-byte machine/process field (bytes 4-8)."""
+        return int(self.hex[8:18], 16)
+
+    @property
+    def counter(self) -> int:
+        """The 3-byte monotone counter (bytes 9-11)."""
+        return int(self.hex[18:24], 16)
+
+    @classmethod
+    def from_parts(cls, timestamp: int, machine: int, counter: int) -> "ObjectId":
+        if not 0 <= timestamp < 2**32:
+            raise ValueError("timestamp must fit in 4 bytes")
+        if not 0 <= machine < 2**40:
+            raise ValueError("machine must fit in 5 bytes")
+        counter %= 2**24
+        return cls(hex=f"{timestamp:08x}{machine:010x}{counter:06x}")
+
+
+class ObjectIdFactory:
+    """Deterministic ObjectId mint.
+
+    A single factory represents one backend process: a fixed machine field
+    and a monotone counter, as MongoDB drivers do.  Worlds built from the
+    same seed mint identical IDs.
+    """
+
+    def __init__(self, seed: int):
+        rng = np.random.default_rng(seed)
+        self._machine = int(rng.integers(0, 2**40))
+        self._counter = int(rng.integers(0, 2**24))
+
+    def mint(self, timestamp: float) -> ObjectId:
+        """Mint an ID creation-stamped at ``timestamp`` (Unix seconds)."""
+        self._counter = (self._counter + 1) % 2**24
+        return ObjectId.from_parts(int(timestamp), self._machine, self._counter)

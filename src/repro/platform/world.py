@@ -1,0 +1,88 @@
+"""World assembly: one seed, one complete universe.
+
+``build_world`` wires every generator together in a fixed order with
+derived RNG streams, so a :class:`WorldConfig` fully determines the world.
+The result bundles ground truth for all subsystems; the HTTP face of the
+world is built separately by :mod:`repro.platform.apps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.config import WorldConfig
+from repro.platform.dissenter import DissenterState, build_dissenter_state
+from repro.platform.gab import GabUniverse, build_gab_universe
+from repro.platform.ids import ObjectIdFactory
+from repro.platform.newssites import NewsCorpora, build_news_corpora
+from repro.platform.reddit import RedditUniverse, build_reddit_universe
+from repro.platform.socialgraph import SocialGraph, build_social_graph
+from repro.platform.textgen import CommentTextGenerator
+from repro.platform.urlgen import UrlUniverse, build_url_universe
+from repro.platform.youtube_site import YouTubeUniverse, build_youtube_universe
+
+__all__ = ["World", "build_world"]
+
+
+@dataclass
+class World:
+    """Everything the synthetic universe contains."""
+
+    config: WorldConfig
+    gab: GabUniverse
+    urls: UrlUniverse
+    dissenter: DissenterState
+    youtube: YouTubeUniverse
+    social: SocialGraph
+    reddit: RedditUniverse
+    news: NewsCorpora
+
+    def summary(self) -> dict[str, int]:
+        """Headline sizes (handy in logs and reports)."""
+        return {
+            "gab_accounts": len(self.gab.accounts),
+            "dissenter_users": len(self.dissenter.users),
+            "active_users": len(self.dissenter.active_users()),
+            "comments": len(self.dissenter.comments),
+            "urls": len(self.urls.urls),
+            "youtube_items": len(self.youtube.items),
+            "reddit_accounts": len(self.reddit.accounts),
+        }
+
+
+def build_world(config: WorldConfig | None = None) -> World:
+    """Build a complete world from a configuration.
+
+    Sub-generators receive independent RNG streams derived from the master
+    seed, so changing one subsystem's draws never perturbs another's.
+    """
+    config = config or WorldConfig()
+    master = np.random.SeedSequence(config.seed)
+    streams = master.spawn(8)
+    rng = [np.random.default_rng(s) for s in streams]
+
+    ids = ObjectIdFactory(config.seed)
+    textgen = CommentTextGenerator(rng[0], mean_tokens=config.mean_comment_tokens)
+
+    gab = build_gab_universe(config, rng[1])
+    urls = build_url_universe(config, rng[2], ids, textgen)
+    dissenter = build_dissenter_state(config, rng[3], gab, urls, ids, textgen)
+    youtube = build_youtube_universe(urls, rng[4], textgen)
+    social = build_social_graph(
+        gab, rng[5], planted_core=dissenter.planted_core_plan or None
+    )
+    reddit = build_reddit_universe(config, rng[6], dissenter.users, textgen)
+    news = build_news_corpora(config, rng[7], textgen)
+
+    return World(
+        config=config,
+        gab=gab,
+        urls=urls,
+        dissenter=dissenter,
+        youtube=youtube,
+        social=social,
+        reddit=reddit,
+        news=news,
+    )

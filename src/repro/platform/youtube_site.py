@@ -1,0 +1,126 @@
+"""The synthetic YouTube origin (§3.3, §4.2.2).
+
+Dissenter's own comment pages show "/watch" titles and empty descriptions
+for YouTube URLs, so the paper crawled YouTube itself with Selenium.  This
+module generates the underlying YouTube content for every YouTube URL in
+the world, calibrated to §4.2.2:
+
+* ~97.7% of YouTube URLs are videos, ~1.6% channels, ~0.8% user pages,
+* ~12.5% of videos are gone: generic "Video Unavailable", private,
+  account-terminated, or removed for hate-speech policy (≈ 400 of 16k
+  unavailable at full scale),
+* Fox News produces 2.4% of commented videos vs CNN's 0.6%,
+* slightly over 10% of active videos have their YouTube comment section
+  disabled (Dissenter's raison d'être).
+
+The page markup buries the metadata inside a JavaScript ``ytInitialData``
+blob, so a plain HTML-title crawler recovers nothing — the crawler must use
+its render mode, mirroring the paper's Selenium requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.entities import YouTubeItem
+from repro.platform.textgen import CommentTextGenerator
+from repro.platform.urlgen import UrlUniverse
+
+__all__ = ["YouTubeUniverse", "build_youtube_universe"]
+
+# (owner, share of videos).  Fox News / CNN shares per §4.2.2.
+_OWNER_MIX: tuple[tuple[str, float], ...] = (
+    ("Fox News", 0.024),
+    ("CNN", 0.006),
+    ("Sky News", 0.010),
+    ("BBC News", 0.008),
+    ("Tucker Highlights", 0.015),
+    ("Liberty Stream", 0.012),
+    ("TruthWatch", 0.010),
+)
+
+# §4.2.2: of 125k videos, 109k active; the 16k missing split into ~9.6k
+# generic "Video Unavailable", ~3k private, ~3k terminated accounts, and
+# ~400 hate-speech removals.
+_STATUS_MIX: tuple[tuple[str, float], ...] = (
+    ("active", 0.872),
+    ("unavailable", 0.0768),
+    ("private", 0.024),
+    ("terminated", 0.024),
+    ("hate_removed", 0.0032),
+)
+
+COMMENTS_DISABLED_RATE = 0.104
+
+
+@dataclass
+class YouTubeUniverse:
+    """All YouTube content addressed by Dissenter URLs."""
+
+    items: dict[str, YouTubeItem]    # keyed by full URL
+
+    def videos(self) -> list[YouTubeItem]:
+        return [i for i in self.items.values() if i.kind == "video"]
+
+    def active_videos(self) -> list[YouTubeItem]:
+        return [i for i in self.videos() if i.is_active]
+
+
+def _kind_for_url(url: str) -> str:
+    if "/channel/" in url:
+        return "channel"
+    if "/user/" in url:
+        return "user"
+    return "video"
+
+
+def _draw_owner(rng: np.random.Generator, textgen: CommentTextGenerator) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for owner, share in _OWNER_MIX:
+        cumulative += share
+        if roll < cumulative:
+            return owner
+    return textgen.generate_title(2)
+
+
+def _draw_status(rng: np.random.Generator) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for status, share in _STATUS_MIX:
+        cumulative += share
+        if roll < cumulative:
+            return status
+    return "active"
+
+
+def build_youtube_universe(
+    urls: UrlUniverse,
+    rng: np.random.Generator,
+    textgen: CommentTextGenerator,
+) -> YouTubeUniverse:
+    """Generate YouTube content for every YouTube URL in the world."""
+    items: dict[str, YouTubeItem] = {}
+    for record in urls.urls:
+        if record.category != "youtube":
+            continue
+        kind = _kind_for_url(record.url)
+        if kind == "video":
+            status = _draw_status(rng)
+            owner = _draw_owner(rng, textgen)
+        else:
+            status = "active"
+            owner = textgen.generate_title(2)
+        items[record.url] = YouTubeItem(
+            url=record.url,
+            kind=kind,
+            title=textgen.generate_title(5) if status == "active" else "",
+            owner=owner if status == "active" else "",
+            status=status,
+            comments_disabled=(
+                status == "active" and rng.random() < COMMENTS_DISABLED_RATE
+            ),
+        )
+    return YouTubeUniverse(items=items)

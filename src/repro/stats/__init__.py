@@ -1,0 +1,47 @@
+"""Statistical utilities used throughout the reproduction.
+
+This package provides the distribution machinery the paper's analyses rest
+on: empirical CDFs, concentration measures (Lorenz curves, Gini, top-k
+shares), discrete power-law fitting for the social-graph degree analysis,
+two-sample Kolmogorov-Smirnov tests for the Allsides bias comparisons, and
+seeded sampling helpers.
+"""
+
+from repro.stats.distributions import (
+    ECDF,
+    gini_coefficient,
+    lorenz_curve,
+    quantile,
+    summarize,
+    top_share,
+)
+from repro.stats.hypothesis_tests import (
+    KSResult,
+    ks_two_sample,
+    pairwise_ks,
+    rank_correlation,
+)
+from repro.stats.powerlaw import PowerLawFit, fit_discrete_powerlaw
+from repro.stats.sampling import (
+    bootstrap_ci,
+    reservoir_sample,
+    stratified_indices,
+)
+
+__all__ = [
+    "ECDF",
+    "KSResult",
+    "PowerLawFit",
+    "bootstrap_ci",
+    "fit_discrete_powerlaw",
+    "gini_coefficient",
+    "ks_two_sample",
+    "lorenz_curve",
+    "pairwise_ks",
+    "quantile",
+    "rank_correlation",
+    "reservoir_sample",
+    "stratified_indices",
+    "summarize",
+    "top_share",
+]

@@ -1,0 +1,14 @@
+"""Figure rendering without plotting dependencies.
+
+The evaluation's figures are line/scatter plots; this package regenerates
+them as standalone SVG documents (:mod:`repro.viz.svg`,
+:mod:`repro.viz.figures`) and as quick terminal ASCII charts
+(:mod:`repro.viz.ascii`), using nothing beyond the standard library — the
+reproduction environment has no matplotlib.
+"""
+
+from repro.viz.ascii import ascii_cdf, ascii_scatter
+from repro.viz.figures import render_all_figures
+from repro.viz.svg import SvgPlot
+
+__all__ = ["SvgPlot", "ascii_cdf", "ascii_scatter", "render_all_figures"]

@@ -1,0 +1,98 @@
+"""Terminal ASCII charts for quick inspection.
+
+Good enough to see a CDF's shape or a scatter's trend inside a test log or
+an example's stdout; the SVG renderer is the publication path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_cdf", "ascii_scatter"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_cdf(
+    samples_by_label: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """Render overlaid empirical CDFs of several samples.
+
+    Args:
+        samples_by_label: {legend label: raw sample}.
+        width/height: character grid size.
+        lo/hi: x-axis range (scores default to [0, 1]).
+    """
+    if not samples_by_label:
+        raise ValueError("no samples to plot")
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, samples) in enumerate(samples_by_label.items()):
+        data = np.sort(np.asarray(list(samples), dtype=float))
+        if data.size == 0:
+            continue
+        mark = _MARKS[index % len(_MARKS)]
+        legend.append(f"{mark} {label} (n={data.size})")
+        for col in range(width):
+            x = lo + (hi - lo) * col / (width - 1)
+            cdf = np.searchsorted(data, x, side="right") / data.size
+            row = height - 1 - int(round(cdf * (height - 1)))
+            grid[row][col] = mark
+    lines = ["1.0 |" + "".join(grid[0])]
+    for row in range(1, height - 1):
+        prefix = "    |"
+        if row == height // 2:
+            prefix = "0.5 |"
+        lines.append(prefix + "".join(grid[row]))
+    lines.append("0.0 +" + "-" * width)
+    lines.append(f"    {lo:<8g}{' ' * (width - 16)}{hi:>8g}")
+    lines.extend("    " + entry for entry in legend)
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render a scatter plot."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size == 0 or x.size != y.size:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    if log_x:
+        mask = x > 0
+        x, y = np.log10(x[mask]), y[mask]
+        if x.size == 0:
+            raise ValueError("no positive x values for log scale")
+    lo_x, hi_x = float(x.min()), float(x.max())
+    lo_y, hi_y = float(y.min()), float(y.max())
+    if lo_x == hi_x:
+        hi_x = lo_x + 1
+    if lo_y == hi_y:
+        hi_y = lo_y + 1
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int(round((xi - lo_x) / (hi_x - lo_x) * (width - 1)))
+        row = height - 1 - int(round((yi - lo_y) / (hi_y - lo_y) * (height - 1)))
+        grid[row][col] = "*"
+    lines = [f"{hi_y:8.3g} |" + "".join(grid[0])]
+    for row in range(1, height - 1):
+        lines.append("         |" + "".join(grid[row]))
+    lines.append(f"{lo_y:8.3g} +" + "-" * width)
+    x_lo = f"10^{lo_x:.1f}" if log_x else f"{lo_x:g}"
+    x_hi = f"10^{hi_x:.1f}" if log_x else f"{hi_x:g}"
+    lines.append(f"          {x_lo:<12s}{' ' * (width - 26)}{x_hi:>12s}")
+    if x_label or y_label:
+        lines.append(f"          x: {x_label}   y: {y_label}")
+    return "\n".join(lines)

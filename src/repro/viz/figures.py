@@ -1,0 +1,206 @@
+"""Regenerate the paper's figures as SVG from a reproduction report.
+
+One function per figure; :func:`render_all_figures` writes the whole set
+into a directory.  Axes and series mirror the paper's presentation
+(Figure 2's time-vs-ID scatter, Figure 3's dual CDF, Figures 4/7/8b as
+score CDFs, Figure 5's vote scatter, Figure 6's ratio CDF, Figure 9a's
+log-log degree scatter, Figures 9b/9c as degree-vs-toxicity curves).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import ReproductionReport
+from repro.viz.svg import SvgPlot
+
+__all__ = [
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8b",
+    "figure9a",
+    "figure9bc",
+    "render_all_figures",
+]
+
+
+def _cdf_xy(samples) -> tuple[np.ndarray, np.ndarray]:
+    data = np.sort(np.asarray(list(samples), dtype=float))
+    return data, np.arange(1, data.size + 1) / data.size
+
+
+def figure2(report: ReproductionReport) -> SvgPlot:
+    """Fig. 2 — Gab user IDs assigned to new accounts over time."""
+    growth = report.growth
+    plot = SvgPlot(
+        title="Figure 2: Gab user IDs over time",
+        x_label="account creation (days since first account)",
+        y_label="Gab ID",
+    )
+    days = (growth.created_at - growth.created_at[0]) / 86_400
+    plot.scatter(days, growth.gab_ids)
+    return plot
+
+
+def figure3(report: ReproductionReport) -> SvgPlot:
+    """Fig. 3 — comments and replies per active user (Lorenz-style)."""
+    counts = np.sort(report.concentration.counts)   # ascending
+    user_frac = np.arange(1, counts.size + 1) / counts.size
+    mass_frac = np.cumsum(counts) / counts.sum()
+    plot = SvgPlot(
+        title="Figure 3: comment concentration",
+        x_label="CDF of users",
+        y_label="CDF of total comments",
+    )
+    plot.line(user_frac, mass_frac, label="measured")
+    plot.line([0, 1], [0, 1], label="equality", color="#aaaaaa")
+    return plot
+
+
+def figure4(report: ReproductionReport) -> SvgPlot:
+    """Fig. 4 — NSFW / offensive / aggregate LIKELY_TO_REJECT CDFs."""
+    shadow = report.shadow
+    plot = SvgPlot(
+        title="Figure 4: shadow-overlay scores (LIKELY_TO_REJECT)",
+        x_label="Perspective score",
+        y_label="CDF of comments",
+    )
+    for cls in ("all", "nsfw", "offensive"):
+        samples = shadow.scores["LIKELY_TO_REJECT"][cls]
+        if samples.size:
+            xs, ys = _cdf_xy(samples)
+            plot.line(xs, ys, label=cls)
+    return plot
+
+
+def figure5(report: ReproductionReport) -> SvgPlot:
+    """Fig. 5 — SEVERE_TOXICITY vs URL net vote score."""
+    votes = report.votes
+    plot = SvgPlot(
+        title="Figure 5: toxicity vs net vote score",
+        x_label="net vote score",
+        y_label="SEVERE_TOXICITY",
+    )
+    plot.scatter(votes.net_scores, votes.mean_toxicity, label="per-URL mean")
+    nets = sorted(votes.bucket_means)
+    plot.line(nets, [votes.bucket_means[n] for n in nets],
+              label="bucket mean")
+    return plot
+
+
+def figure6(report: ReproductionReport) -> SvgPlot:
+    """Fig. 6 — Dissenter-to-Reddit comment-ratio CDF."""
+    if report.ratios is None:
+        raise ValueError("report has no comment-ratio analysis")
+    xs, ys = _cdf_xy(report.ratios.ratios)
+    plot = SvgPlot(
+        title="Figure 6: Dissenter/Reddit comment ratio",
+        x_label="d / (d + r)",
+        y_label="CDF of users",
+    )
+    plot.line(xs, ys)
+    return plot
+
+
+def figure7(report: ReproductionReport, attribute: str = "LIKELY_TO_REJECT") -> SvgPlot:
+    """Figs. 7a/7b/7c — cross-platform score CDFs for one attribute."""
+    relative = report.relative
+    plot = SvgPlot(
+        title=f"Figure 7: {attribute} across platforms",
+        x_label=f"{attribute} score",
+        y_label="CDF",
+    )
+    for dataset in ("dissenter", "reddit", "nytimes", "dailymail"):
+        samples = relative.scores[attribute].get(dataset)
+        if samples is not None and samples.size:
+            xs, ys = _cdf_xy(samples)
+            plot.line(xs, ys, label=dataset)
+    return plot
+
+
+def figure8b(report: ReproductionReport) -> SvgPlot:
+    """Fig. 8b — ATTACK_ON_AUTHOR CDFs by Allsides bias."""
+    bias = report.bias
+    plot = SvgPlot(
+        title="Figure 8b: ATTACK_ON_AUTHOR by bias",
+        x_label="ATTACK_ON_AUTHOR score",
+        y_label="CDF of comments",
+    )
+    for category, samples in bias.attack.items():
+        if samples.size >= 5:
+            xs, ys = _cdf_xy(samples)
+            plot.line(xs, ys, label=category)
+    return plot
+
+
+def figure9a(report: ReproductionReport) -> SvgPlot:
+    """Fig. 9a — following vs followers (log-log scatter)."""
+    social = report.social
+    plot = SvgPlot(
+        title="Figure 9a: following vs followers",
+        x_label="in-degree (followers)",
+        y_label="out-degree (following)",
+        x_log=True,
+        y_log=True,
+    )
+    # Shift by 1 so isolated users are representable on the log axes.
+    plot.scatter(social.in_degrees + 1, social.out_degrees + 1)
+    return plot
+
+
+def figure9bc(report: ReproductionReport, direction: str = "in") -> SvgPlot:
+    """Figs. 9b/9c — toxicity vs follower/following count."""
+    social = report.social
+    buckets = (
+        social.toxicity_by_in_degree
+        if direction == "in"
+        else social.toxicity_by_out_degree
+    )
+    label = "followers" if direction == "in" else "following"
+    plot = SvgPlot(
+        title=f"Figure 9{'b' if direction == 'in' else 'c'}: "
+              f"toxicity vs # of {label}",
+        x_label=f"# of {label} (bucket lower bound + 1)",
+        y_label="toxicity",
+        x_log=True,
+    )
+    keys = sorted(buckets)
+    xs = [1 if k == 0 else 2 ** (k - 1) + 1 for k in keys]
+    plot.line(xs, [buckets[k][0] for k in keys], label="mean")
+    plot.line(xs, [buckets[k][1] for k in keys], label="median")
+    return plot
+
+
+def render_all_figures(
+    report: ReproductionReport, out_dir: str | Path
+) -> list[Path]:
+    """Write every renderable figure as SVG; returns the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    jobs: list[tuple[str, SvgPlot]] = [
+        ("fig2_gab_growth.svg", figure2(report)),
+        ("fig3_comment_concentration.svg", figure3(report)),
+        ("fig4_shadow_reject.svg", figure4(report)),
+        ("fig5_votes_toxicity.svg", figure5(report)),
+        ("fig7a_likely_to_reject.svg", figure7(report, "LIKELY_TO_REJECT")),
+        ("fig7b_severe_toxicity.svg", figure7(report, "SEVERE_TOXICITY")),
+        ("fig7c_attack_on_author.svg", figure7(report, "ATTACK_ON_AUTHOR")),
+        ("fig8b_attack_by_bias.svg", figure8b(report)),
+        ("fig9a_degrees.svg", figure9a(report)),
+        ("fig9b_toxicity_followers.svg", figure9bc(report, "in")),
+        ("fig9c_toxicity_following.svg", figure9bc(report, "out")),
+    ]
+    if report.ratios is not None:
+        jobs.insert(5, ("fig6_comment_ratio.svg", figure6(report)))
+    written = []
+    for name, plot in jobs:
+        path = out / name
+        plot.save(path)
+        written.append(path)
+    return written

@@ -1,0 +1,248 @@
+"""A minimal SVG chart writer.
+
+Supports exactly what the paper's figures need: scatter points, step/line
+series, log-scaled axes, ticks, axis labels, and a legend.  Output is a
+self-contained SVG document string.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["SvgPlot"]
+
+# A small colour-blind-safe palette.
+PALETTE = (
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7",
+    "#f0e442", "#56b4e9", "#e69f00", "#000000",
+)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+@dataclass
+class _Series:
+    label: str
+    xs: list[float]
+    ys: list[float]
+    kind: str          # "line" | "scatter"
+    color: str
+
+
+@dataclass
+class SvgPlot:
+    """One chart.
+
+    Usage::
+
+        plot = SvgPlot(title="Figure 3", x_label="users", y_label="CDF")
+        plot.line(xs, ys, label="comments")
+        svg = plot.render()
+    """
+
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 640
+    height: int = 420
+    x_log: bool = False
+    y_log: bool = False
+    _series: list[_Series] = field(default_factory=list)
+
+    MARGIN_LEFT = 70
+    MARGIN_RIGHT = 20
+    MARGIN_TOP = 40
+    MARGIN_BOTTOM = 55
+
+    # ------------------------------------------------------------------
+
+    def _next_color(self) -> str:
+        return PALETTE[len(self._series) % len(PALETTE)]
+
+    def line(
+        self, xs: Sequence[float], ys: Sequence[float], label: str = "",
+        color: str | None = None,
+    ) -> "SvgPlot":
+        """Add a line series."""
+        self._add(xs, ys, label, "line", color)
+        return self
+
+    def scatter(
+        self, xs: Sequence[float], ys: Sequence[float], label: str = "",
+        color: str | None = None,
+    ) -> "SvgPlot":
+        """Add a scatter series."""
+        self._add(xs, ys, label, "scatter", color)
+        return self
+
+    def _add(self, xs, ys, label, kind, color) -> None:
+        xs, ys = list(map(float, xs)), list(map(float, ys))
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if not xs:
+            raise ValueError("series must be non-empty")
+        self._series.append(_Series(
+            label=label, xs=xs, ys=ys, kind=kind,
+            color=color or self._next_color(),
+        ))
+
+    # ------------------------------------------------------------------
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for s in self._series for x in s.xs]
+        ys = [y for s in self._series for y in s.ys]
+        if self.x_log:
+            xs = [x for x in xs if x > 0] or [1.0]
+        if self.y_log:
+            ys = [y for y in ys if y > 0] or [1.0]
+        lo_x, hi_x = min(xs), max(xs)
+        lo_y, hi_y = min(ys), max(ys)
+        if lo_x == hi_x:
+            lo_x, hi_x = lo_x - 1, hi_x + 1
+        if lo_y == hi_y:
+            lo_y, hi_y = lo_y - 1, hi_y + 1
+        return lo_x, hi_x, lo_y, hi_y
+
+    def _transformers(self):
+        lo_x, hi_x, lo_y, hi_y = self._bounds()
+        if self.x_log:
+            lo_x, hi_x = math.log10(lo_x), math.log10(hi_x)
+        if self.y_log:
+            lo_y, hi_y = math.log10(lo_y), math.log10(hi_y)
+        plot_w = self.width - self.MARGIN_LEFT - self.MARGIN_RIGHT
+        plot_h = self.height - self.MARGIN_TOP - self.MARGIN_BOTTOM
+
+        def to_px(x: float, y: float) -> tuple[float, float] | None:
+            if self.x_log:
+                if x <= 0:
+                    return None
+                x = math.log10(x)
+            if self.y_log:
+                if y <= 0:
+                    return None
+                y = math.log10(y)
+            fx = (x - lo_x) / (hi_x - lo_x)
+            fy = (y - lo_y) / (hi_y - lo_y)
+            return (
+                self.MARGIN_LEFT + fx * plot_w,
+                self.height - self.MARGIN_BOTTOM - fy * plot_h,
+            )
+
+        return to_px, (lo_x, hi_x, lo_y, hi_y)
+
+    def _ticks(self, lo: float, hi: float, log: bool, n: int = 5) -> list[float]:
+        if log:
+            return [10 ** e for e in range(math.floor(lo), math.ceil(hi) + 1)]
+        step = (hi - lo) / (n - 1)
+        return [lo + i * step for i in range(n)]
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Produce the SVG document."""
+        if not self._series:
+            raise ValueError("plot has no series")
+        to_px, (lo_x, hi_x, lo_y, hi_y) = self._transformers()
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        # Frame.
+        x0, y0 = self.MARGIN_LEFT, self.MARGIN_TOP
+        x1 = self.width - self.MARGIN_RIGHT
+        y1 = self.height - self.MARGIN_BOTTOM
+        parts.append(
+            f'<rect x="{x0}" y="{y0}" width="{x1 - x0}" height="{y1 - y0}" '
+            f'fill="none" stroke="#888"/>'
+        )
+        # Ticks.
+        for tick in self._ticks(lo_x, hi_x, self.x_log):
+            raw = tick if not self.x_log else tick
+            point = to_px(raw if not self.x_log else raw,
+                          10 ** lo_y if self.y_log else lo_y)
+            if point is None:
+                continue
+            px = point[0]
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{y1}" x2="{px:.1f}" y2="{y1 + 5}" '
+                f'stroke="#555"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{y1 + 18}" text-anchor="middle">'
+                f"{_fmt(raw)}</text>"
+            )
+        for tick in self._ticks(lo_y, hi_y, self.y_log):
+            point = to_px(10 ** lo_x if self.x_log else lo_x, tick)
+            if point is None:
+                continue
+            py = point[1]
+            parts.append(
+                f'<line x1="{x0 - 5}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" '
+                f'stroke="#555"/>'
+            )
+            parts.append(
+                f'<text x="{x0 - 8}" y="{py + 4:.1f}" text-anchor="end">'
+                f"{_fmt(tick)}</text>"
+            )
+        # Series.
+        for series in self._series:
+            points = [to_px(x, y) for x, y in zip(series.xs, series.ys)]
+            points = [p for p in points if p is not None]
+            if not points:
+                continue
+            if series.kind == "line":
+                path = " ".join(f"{px:.1f},{py:.1f}" for px, py in points)
+                parts.append(
+                    f'<polyline points="{path}" fill="none" '
+                    f'stroke="{series.color}" stroke-width="1.8"/>'
+                )
+            else:
+                for px, py in points:
+                    parts.append(
+                        f'<circle cx="{px:.1f}" cy="{py:.1f}" r="2.2" '
+                        f'fill="{series.color}" fill-opacity="0.65"/>'
+                    )
+        # Labels.
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2:.0f}" y="22" text-anchor="middle" '
+                f'font-size="15" font-weight="bold">{self.title}</text>'
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{(x0 + x1) / 2:.0f}" y="{self.height - 12}" '
+                f'text-anchor="middle">{self.x_label}</text>'
+            )
+        if self.y_label:
+            cx, cy = 18, (y0 + y1) / 2
+            parts.append(
+                f'<text x="{cx}" y="{cy:.0f}" text-anchor="middle" '
+                f'transform="rotate(-90 {cx} {cy:.0f})">{self.y_label}</text>'
+            )
+        # Legend (only labelled series).
+        labelled = [s for s in self._series if s.label]
+        for index, series in enumerate(labelled):
+            ly = y0 + 14 + index * 16
+            parts.append(
+                f'<rect x="{x1 - 150}" y="{ly - 9}" width="10" height="10" '
+                f'fill="{series.color}"/>'
+            )
+            parts.append(
+                f'<text x="{x1 - 135}" y="{ly}">{series.label}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        """Write the SVG document to a file."""
+        from pathlib import Path
+        Path(path).write_text(self.render(), encoding="utf-8")

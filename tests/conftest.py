@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+World construction is the expensive part of most integration tests, so a
+few standard worlds are built once per session and shared read-only.
+Tests that mutate state build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ReproductionPipeline
+from repro.net import HttpClient
+from repro.platform import WorldConfig, build_world
+from repro.platform.apps import build_origins
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A tiny world (~2.6k Gab accounts) for fast integration tests."""
+    return build_world(WorldConfig(scale=0.002, seed=42))
+
+
+@pytest.fixture(scope="session")
+def medium_world():
+    """A mid-sized world (~13k Gab accounts) for distribution checks."""
+    return build_world(WorldConfig(scale=0.01, seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_origins(small_world):
+    """HTTP origins over the small world (fault-free)."""
+    return build_origins(small_world)
+
+
+@pytest.fixture()
+def client(small_origins):
+    """A fresh client per test (cookie jars must not leak across tests)."""
+    return HttpClient(small_origins.transport)
+
+
+@pytest.fixture(scope="session")
+def pipeline_report():
+    """A full pipeline run on a tiny world, shared by analysis tests."""
+    pipeline = ReproductionPipeline(WorldConfig(scale=0.002, seed=11))
+    return pipeline.run()

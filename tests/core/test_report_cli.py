@@ -1,0 +1,107 @@
+"""Tests for the report renderer and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.report import (
+    render_figures_summary,
+    render_full_report,
+    render_headlines,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+class TestReportRendering:
+    def test_table1_mentions_key_flags(self, pipeline_report):
+        text = render_table1(pipeline_report)
+        assert "Table 1a" in text and "Table 1b" in text
+        assert "canPost" in text
+        assert "nsfw" in text
+
+    def test_table2_lists_youtube(self, pipeline_report):
+        text = render_table2(pipeline_report)
+        assert "youtube.com" in text
+        assert ".com" in text
+
+    def test_table3_rows(self, pipeline_report):
+        text = render_table3(pipeline_report)
+        assert "NY Times" in text and "Daily Mail" in text and "Reddit" in text
+
+    def test_headlines_fields(self, pipeline_report):
+        text = render_headlines(pipeline_report)
+        assert "active users" in text
+        assert "censorship" in text
+
+    def test_figures_summary_covers_all(self, pipeline_report):
+        text = render_figures_summary(pipeline_report)
+        for token in ("Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6",
+                      "Fig 7a", "Fig 8", "Fig 9", "Hateful core"):
+            assert token in text, token
+
+    def test_full_report_composes(self, pipeline_report):
+        text = render_full_report(pipeline_report)
+        assert "Table 1a" in text
+        assert "Figures — numeric summary" in text
+        # Every section's header underline is intact.
+        assert text.count("=") > 20
+
+
+class TestCliParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.scale == 0.005
+
+    def test_crawl_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crawl"])
+
+    def test_score_positional(self):
+        args = build_parser().parse_args(["score", "hello", "world"])
+        assert args.text == ["hello", "world"]
+
+
+class TestCliExecution:
+    def test_score_command(self, capsys):
+        exit_code = main(["score", "you pathetic disgusting clowns"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "SEVERE_TOXICITY" in out
+        assert "dictionary hate ratio" in out
+
+    def test_score_empty_stdin_fails(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["score"]) == 1
+
+    def test_crawl_command_writes_checkpoint(self, tmp_path, capsys):
+        out_file = tmp_path / "crawl.json"
+        exit_code = main([
+            "crawl", "--scale", "0.001", "--seed", "3",
+            "--out", str(out_file),
+        ])
+        assert exit_code == 0
+        assert out_file.exists()
+        from repro.crawler.checkpoint import load_result
+        corpus = load_result(out_file)
+        assert corpus.summary()["comments"] > 0
+
+    def test_run_command_small(self, tmp_path, capsys):
+        report_file = tmp_path / "report.txt"
+        exit_code = main([
+            "run", "--scale", "0.001", "--seed", "3",
+            "--report", str(report_file),
+        ])
+        assert exit_code == 0
+        assert "Table 1a" in report_file.read_text()
+
+    def test_figures_command(self, tmp_path):
+        out_dir = tmp_path / "figs"
+        exit_code = main([
+            "figures", "--scale", "0.001", "--seed", "3",
+            "--out", str(out_dir),
+        ])
+        assert exit_code == 0
+        assert any(out_dir.glob("fig*.svg"))

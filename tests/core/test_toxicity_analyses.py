@@ -1,0 +1,139 @@
+"""Tests for the toxicity-shaped analyses (Figs. 4, 5, 7, 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bias import bias_of_url
+
+
+class TestShadowToxicityFig4:
+    def test_offensive_most_extreme(self, pipeline_report):
+        shadow = pipeline_report.shadow
+        for attribute in ("LIKELY_TO_REJECT", "SEVERE_TOXICITY", "OBSCENE"):
+            off = shadow.exceed_fraction(attribute, "offensive", 0.5)
+            allc = shadow.exceed_fraction(attribute, "all", 0.5)
+            assert off > allc, attribute
+
+    def test_nsfw_between_offensive_and_all(self, pipeline_report):
+        shadow = pipeline_report.shadow
+        attribute = "SEVERE_TOXICITY"
+        off = shadow.exceed_fraction(attribute, "offensive", 0.5)
+        nsfw = shadow.exceed_fraction(attribute, "nsfw", 0.5)
+        allc = shadow.exceed_fraction(attribute, "all", 0.5)
+        assert off > nsfw > allc
+
+    def test_fig4_headline_quantile(self, pipeline_report):
+        """Paper: 80% of offensive comments score > 0.95 LIKELY_TO_REJECT,
+        vs ~25% of NSFW and < 20% of all."""
+        shadow = pipeline_report.shadow
+        assert shadow.exceed_fraction("LIKELY_TO_REJECT", "offensive", 0.95) > 0.6
+        assert shadow.exceed_fraction("LIKELY_TO_REJECT", "all", 0.95) < 0.25
+
+    def test_ecdf_constructible(self, pipeline_report):
+        ecdf = pipeline_report.shadow.ecdf("SEVERE_TOXICITY", "all")
+        assert 0.0 <= ecdf(0.5) <= 1.0
+
+
+class TestVotesFig5:
+    def test_vote_sign_census(self, pipeline_report):
+        votes = pipeline_report.votes
+        assert votes.zero_urls > votes.positive_urls > 0
+        assert votes.negative_urls > 0
+        assert votes.in_band_fraction > 0.9   # paper: 99% in (-10, 10)
+
+    def test_zero_vote_urls_most_toxic(self, pipeline_report):
+        votes = pipeline_report.votes
+        zero_mean = votes.bucket_means.get(0)
+        assert zero_mean is not None
+        decisive_mask = np.abs(votes.net_scores) >= 4
+        if decisive_mask.sum() < 30:
+            pytest.skip("too few decisive-vote URLs at this scale")
+        decisive = float(votes.mean_toxicity[decisive_mask].mean())
+        # URL-weighted comparison with a small noise allowance; the strict
+        # ordering is asserted at bench scale.
+        assert zero_mean > decisive - 0.02
+
+    def test_arrays_aligned(self, pipeline_report):
+        votes = pipeline_report.votes
+        assert votes.net_scores.shape == votes.mean_toxicity.shape
+        assert votes.net_scores.shape == votes.median_toxicity.shape
+
+
+class TestRelativeToxicityFig7:
+    def test_dissenter_most_likely_rejected(self, pipeline_report):
+        relative = pipeline_report.relative
+        d = relative.exceed_fraction("LIKELY_TO_REJECT", "dissenter", 0.5)
+        for other in ("reddit", "nytimes", "dailymail"):
+            assert d > relative.exceed_fraction("LIKELY_TO_REJECT", other, 0.5)
+
+    def test_dissenter_majority_rejectable(self, pipeline_report):
+        relative = pipeline_report.relative
+        # Paper: over 75% of Dissenter comments >= 0.5.
+        assert relative.exceed_fraction("LIKELY_TO_REJECT", "dissenter", 0.5) > 0.6
+
+    def test_nytimes_least_toxic(self, pipeline_report):
+        relative = pipeline_report.relative
+        nyt = relative.exceed_fraction("SEVERE_TOXICITY", "nytimes", 0.5)
+        for other in ("dissenter", "reddit", "dailymail"):
+            assert nyt <= relative.exceed_fraction("SEVERE_TOXICITY", other, 0.5)
+
+    def test_dissenter_severe_toxicity_about_double_reddit(self, pipeline_report):
+        relative = pipeline_report.relative
+        d = relative.exceed_fraction("SEVERE_TOXICITY", "dissenter", 0.5)
+        r = relative.exceed_fraction("SEVERE_TOXICITY", "reddit", 0.5)
+        assert d > 1.3 * max(r, 0.01)
+
+    def test_attack_on_author_similar_across_datasets(self, pipeline_report):
+        relative = pipeline_report.relative
+        medians = [
+            float(np.median(relative.scores["ATTACK_ON_AUTHOR"][name]))
+            for name in relative.datasets()
+        ]
+        assert max(medians) - min(medians) < 0.25
+
+
+class TestBiasFig8:
+    def test_right_leaning_least_toxic(self, pipeline_report):
+        bias = pipeline_report.bias
+        center = bias.median_toxicity("center")
+        right = bias.median_toxicity("right")
+        if not (np.isnan(center) or np.isnan(right)):
+            assert center > right
+
+    def test_attack_decreases_left_to_right(self, pipeline_report):
+        bias = pipeline_report.bias
+        left = bias.mean_attack("left")
+        right = bias.mean_attack("right")
+        if not (np.isnan(left) or np.isnan(right)):
+            assert left > right
+
+    def test_not_ranked_dominates_counts(self, pipeline_report):
+        # Paper: ~1M of 1.68M comments land on unranked URLs (YouTube,
+        # social media, long tail).
+        bias = pipeline_report.bias
+        ranked = bias.ranked_comment_counts()
+        assert ranked[0][0] == "not-ranked"
+
+    def test_ks_pairs_significant_at_scale(self, pipeline_report):
+        bias = pipeline_report.bias
+        big_pairs = [
+            result
+            for (a, b), result in bias.ks_toxicity.items()
+            if min(result.n1, result.n2) > 400
+        ]
+        if big_pairs:
+            assert any(r.significant(0.01) for r in big_pairs)
+
+
+class TestBiasOfUrl:
+    def test_known_domains(self):
+        assert bias_of_url("https://breitbart.com/x") == "right"
+        assert bias_of_url("https://huffpost.com/x") == "left"
+        assert bias_of_url("https://bbc.co.uk/x") == "center"
+
+    def test_unranked(self):
+        assert bias_of_url("https://youtube.com/watch?v=1") == "not-ranked"
+        assert bias_of_url("file:///C:/x") == "not-ranked"
+
+    def test_custom_table(self):
+        assert bias_of_url("https://a.com/x", {"a.com": "left"}) == "left"

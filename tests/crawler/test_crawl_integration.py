@@ -1,0 +1,284 @@
+"""Integration tests: the crawler stack against the synthetic origins.
+
+These are the round-trip tests that justify the whole substitution: the
+crawler, talking HTTP only, must recover the world's ground truth exactly.
+"""
+
+import pytest
+
+from repro.crawler.dissenter_crawl import DissenterCrawler
+from repro.crawler.gab_enum import GabEnumerator
+from repro.crawler.reddit_crawl import RedditMatcher
+from repro.crawler.shadow import ShadowCrawler
+from repro.crawler.social_crawl import SocialGraphCrawler, induce_dissenter_graph
+from repro.crawler.validation import CrawlValidator
+from repro.crawler.youtube_crawl import YouTubeCrawler, is_youtube_url
+from repro.net import HttpClient
+
+
+@pytest.fixture(scope="module")
+def crawl(small_world, small_origins):
+    """One full crawl shared by the assertions below."""
+    client = HttpClient(small_origins.transport)
+    enum = GabEnumerator(client).enumerate(max_id=small_world.gab.max_id)
+    crawler = DissenterCrawler(client)
+    detected = crawler.detect_accounts(enum.usernames())
+    result = crawler.crawl(detected)
+    shadow = ShadowCrawler(client, small_origins.dissenter)
+    report = shadow.uncover(result)
+    return {
+        "client": client,
+        "enum": enum,
+        "crawler": crawler,
+        "result": result,
+        "shadow": shadow,
+        "shadow_report": report,
+    }
+
+
+class TestGabEnumeration:
+    def test_recovers_all_non_deleted_accounts(self, crawl, small_world):
+        truth = {
+            a.gab_id for a in small_world.gab.accounts if not a.is_deleted
+        }
+        crawled = {a.gab_id for a in crawl["enum"].accounts}
+        assert crawled == truth
+
+    def test_deleted_accounts_absent(self, crawl, small_world):
+        deleted = {a.gab_id for a in small_world.gab.accounts if a.is_deleted}
+        crawled = {a.gab_id for a in crawl["enum"].accounts}
+        assert not (crawled & deleted)
+
+    def test_probe_count_covers_id_space(self, crawl, small_world):
+        assert crawl["enum"].ids_probed >= small_world.gab.max_id
+
+
+class TestAccountDetection:
+    def test_detects_exactly_live_dissenter_users(self, crawl, small_world):
+        truth = {
+            u.username
+            for u in small_world.dissenter.users
+            if not u.gab_deleted
+        }
+        detected = set(crawl["result"].users)
+        assert detected == truth
+
+
+class TestCommentCrawl:
+    def test_all_reachable_visible_comments_recovered(self, crawl, small_world):
+        # Reachable = on a discussion at least one *live* (non-orphaned)
+        # user commented on.  Orphaned users' comments on discussions no
+        # live user ever touched are undiscoverable — exactly the boundary
+        # the paper's crawl had.
+        state = small_world.dissenter
+        live_authors = {
+            u.author_id.hex for u in state.users if not u.gab_deleted
+        }
+        reachable_urls = {
+            c.commenturl_id.hex
+            for c in state.comments
+            if c.author_id.hex in live_authors and not c.hidden
+        }
+        truth_visible = {
+            c.comment_id.hex
+            for c in state.comments
+            if not c.hidden and c.commenturl_id.hex in reachable_urls
+        }
+        baseline = {
+            cid
+            for cid, c in crawl["result"].comments.items()
+            if c.shadow_label is None
+        }
+        assert baseline == truth_visible
+
+    def test_comment_text_round_trips(self, crawl, small_world):
+        truth = {
+            c.comment_id.hex: c.text for c in small_world.dissenter.comments
+        }
+        for cid, comment in list(crawl["result"].comments.items())[:300]:
+            assert comment.text == truth[cid]
+
+    def test_reply_structure_recovered(self, crawl, small_world):
+        truth_parents = {
+            c.comment_id.hex: (
+                c.parent_comment_id.hex if c.parent_comment_id else None
+            )
+            for c in small_world.dissenter.comments
+        }
+        replies_seen = 0
+        for cid, comment in crawl["result"].comments.items():
+            assert comment.parent_comment_id == truth_parents[cid]
+            if comment.parent_comment_id:
+                replies_seen += 1
+        assert replies_seen > 0
+
+    def test_votes_recovered(self, crawl, small_world):
+        truth = {
+            u.commenturl_id.hex: (u.upvotes, u.downvotes)
+            for u in small_world.urls.urls
+        }
+        for url_id, url in crawl["result"].urls.items():
+            assert (url.upvotes, url.downvotes) == truth[url_id]
+
+    def test_hidden_metadata_mined(self, crawl, small_world):
+        truth = {
+            u.username: u for u in small_world.dissenter.users
+        }
+        mined = [
+            u for u in crawl["result"].users.values() if u.permissions
+        ]
+        assert mined
+        for user in mined[:100]:
+            expected = truth[user.username]
+            assert user.language == expected.language
+            assert user.permissions == expected.flags
+            assert user.view_filters == expected.view_filters
+
+
+class TestShadowCrawl:
+    def test_exact_shadow_recovery(self, crawl, small_world):
+        truth_nsfw = {
+            c.comment_id.hex
+            for c in small_world.dissenter.comments
+            if c.nsfw
+        }
+        truth_offensive = {
+            c.comment_id.hex
+            for c in small_world.dissenter.comments
+            if c.offensive
+        }
+        crawled_nsfw = {
+            cid
+            for cid, c in crawl["result"].comments.items()
+            if c.shadow_label == "nsfw"
+        }
+        crawled_offensive = {
+            cid
+            for cid, c in crawl["result"].comments.items()
+            if c.shadow_label == "offensive"
+        }
+        assert crawled_nsfw == truth_nsfw
+        assert crawled_offensive == truth_offensive
+
+    def test_manual_verification_sample_passes(self, crawl):
+        shadow_ids = [
+            cid
+            for cid, c in crawl["result"].comments.items()
+            if c.shadow_label is not None
+        ][:30]
+        outcomes = crawl["shadow"].verify_sample(crawl["result"], shadow_ids)
+        assert all(outcomes.values())
+
+
+class TestValidation:
+    def test_consistency_clean(self, crawl, small_world):
+        config = small_world.config
+        validator = CrawlValidator(
+            window_start=config.epoch_dissenter - 45 * 86_400,
+            window_end=config.crawl_time + 86_400,
+        )
+        report = validator.check_consistency(crawl["result"])
+        assert report.clean, report.issues[:5]
+
+    def test_validator_flags_planted_inconsistency(self, crawl, small_world):
+        from repro.crawler.checkpoint import dumps_result, loads_result
+        config = small_world.config
+        corrupted = loads_result(dumps_result(crawl["result"]))
+        victim = next(iter(corrupted.comments.values()))
+        victim.created_at_epoch += 3600   # disagree with the ID timestamp
+        validator = CrawlValidator(
+            window_start=config.epoch_dissenter - 45 * 86_400,
+            window_end=config.crawl_time + 86_400,
+        )
+        report = validator.check_consistency(corrupted)
+        assert report.timestamp_mismatches == 1
+        assert not report.clean
+
+
+class TestYouTubeCrawl:
+    def test_render_recovers_metadata(self, crawl, small_world, small_origins):
+        client = HttpClient(small_origins.transport)
+        crawler = YouTubeCrawler(client)
+        urls = [
+            u.url
+            for u in crawl["result"].urls.values()
+            if is_youtube_url(u.url)
+        ]
+        outcome = crawler.crawl(urls)
+        assert outcome.items
+        truth = small_world.youtube.items
+        for url, item in outcome.items.items():
+            expected = truth[url]
+            if expected.is_active:
+                assert item.status == "OK"
+                assert item.title == expected.title
+                assert item.owner == expected.owner
+                assert item.comments_disabled == expected.comments_disabled
+            else:
+                assert item.status == expected.status
+
+    def test_non_youtube_urls_skipped(self, small_origins):
+        client = HttpClient(small_origins.transport)
+        crawler = YouTubeCrawler(client)
+        outcome = crawler.crawl(["https://example.com/not-youtube"])
+        assert not outcome.items
+
+
+class TestSocialCrawl:
+    def test_induced_graph_matches_truth(self, crawl, small_world, small_origins):
+        client = HttpClient(small_origins.transport)
+        crawler = SocialGraphCrawler(client, floor_interval=0.0)
+        live = [
+            u for u in small_world.dissenter.users if not u.gab_deleted
+        ][:40]
+        gab_ids = [u.gab_id for u in live]
+        raw = crawler.crawl(gab_ids)
+        graph = induce_dissenter_graph(raw, gab_ids)
+        truth_graph = small_world.social
+        deleted = {
+            a.gab_id for a in small_world.gab.accounts if a.is_deleted
+        }
+        members = set(gab_ids)
+        for gab_id in gab_ids:
+            expected_following = {
+                t
+                for t in truth_graph.following_of(gab_id)
+                if t in members and t not in deleted
+            }
+            assert set(graph.successors(gab_id)) == expected_following
+
+    def test_isolated_members_kept_as_nodes(self, small_origins, small_world):
+        client = HttpClient(small_origins.transport)
+        crawler = SocialGraphCrawler(client, floor_interval=0.0)
+        isolated = next(
+            u.gab_id
+            for u in small_world.dissenter.users
+            if not u.gab_deleted
+            and small_world.social.in_degree(u.gab_id) == 0
+            and small_world.social.out_degree(u.gab_id) == 0
+        )
+        raw = crawler.crawl([isolated])
+        graph = induce_dissenter_graph(raw, [isolated])
+        assert isolated in graph.nodes
+        assert graph.degree(isolated) == 0
+
+
+class TestRedditMatch:
+    def test_matches_exactly_the_reddit_population(self, crawl, small_world,
+                                                    small_origins):
+        client = HttpClient(small_origins.transport)
+        matcher = RedditMatcher(client)
+        outcome = matcher.match(sorted(crawl["result"].users))
+        truth = {
+            name
+            for name in small_world.reddit.accounts
+            if name in crawl["result"].users
+        }
+        assert set(outcome.matched_usernames) == truth
+
+    def test_comment_counts_match_truth(self, crawl, small_world, small_origins):
+        client = HttpClient(small_origins.transport)
+        matcher = RedditMatcher(client)
+        outcome = matcher.match(sorted(crawl["result"].users)[:50])
+        for name, count in outcome.comment_counts.items():
+            assert count == small_world.reddit.accounts[name].n_comments

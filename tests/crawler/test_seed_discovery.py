@@ -1,0 +1,63 @@
+"""Tests for the abandoned seed-based username harvest (§3.1)."""
+
+import pytest
+
+from repro.crawler.gab_enum import GabEnumerator
+from repro.crawler.seed_discovery import SeedDiscovery
+from repro.net import HttpClient
+
+
+@pytest.fixture(scope="module")
+def discovery(small_world, small_origins):
+    client = HttpClient(small_origins.transport)
+    return SeedDiscovery(client).run(), small_world
+
+
+class TestSeedDiscovery:
+    def test_pushshift_finds_exactly_the_posters(self, discovery):
+        result, world = discovery
+        truth = {
+            a.username for a in world.gab.accounts
+            if a.has_posted and not a.is_deleted
+        }
+        assert result.pushshift_authors == truth
+
+    def test_torba_followers_match_graph(self, discovery):
+        result, world = discovery
+        torba = world.gab.by_username["a"]
+        truth = {
+            world.gab.by_id[g].username
+            for g in world.social.followers_of(torba.gab_id)
+            if not world.gab.by_id[g].is_deleted
+        }
+        assert result.torba_followers == truth
+
+    def test_silent_and_friendless_users_missed(self, discovery):
+        """The paper's motivating failure: accounts that never posted and
+        never auto-followed @a are invisible to the seed harvest."""
+        result, world = discovery
+        torba = world.gab.by_username["a"]
+        invisible = [
+            a.username
+            for a in world.gab.accounts
+            if not a.is_deleted
+            and not a.has_posted
+            and torba.gab_id not in world.social.following_of(a.gab_id)
+            and a.username != "a"
+        ]
+        assert invisible, "world should contain silent+friendless accounts"
+        assert not (set(invisible) & result.discovered)
+
+    def test_enumeration_strictly_dominates(
+        self, discovery, small_origins
+    ):
+        result, world = discovery
+        client = HttpClient(small_origins.transport)
+        enumerated = set(
+            GabEnumerator(client).enumerate(max_id=world.gab.max_id).usernames()
+        )
+        assert result.discovered < enumerated   # proper subset
+
+    def test_coverage_of_empty_reference(self, discovery):
+        result, _ = discovery
+        assert result.coverage_of(set()) == 0.0

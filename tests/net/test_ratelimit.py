@@ -1,0 +1,122 @@
+"""Tests for rate limiting primitives."""
+
+import pytest
+
+from repro.net.clock import VirtualClock
+from repro.net.http import Headers, Response
+from repro.net.ratelimit import HeaderRateLimiter, KeyedRateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, capacity=5, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(5))
+        assert not bucket.try_acquire()
+
+    def test_refill_over_time(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=2.0, capacity=2, clock=clock)
+        bucket.try_acquire(); bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.sleep(0.5)   # refills one token
+        assert bucket.try_acquire()
+
+    def test_acquire_blocks_on_clock(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, capacity=1, clock=clock)
+        bucket.acquire()
+        waited = bucket.acquire()
+        assert waited == pytest.approx(1.0)
+        assert clock.total_slept == pytest.approx(1.0)
+
+    def test_wait_time_zero_when_available(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, capacity=3, clock=clock)
+        assert bucket.wait_time() == 0.0
+
+    def test_never_exceeds_capacity(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=100.0, capacity=2, clock=clock)
+        clock.sleep(60)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_validation(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, capacity=1, clock=clock)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, capacity=0, clock=clock)
+
+
+class TestKeyedRateLimiter:
+    def test_per_key_isolation(self):
+        """The paper's observation: a per-URL limit never binds a
+        breadth-first crawl that touches each URL once."""
+        clock = VirtualClock()
+        limiter = KeyedRateLimiter(rate=10 / 60, capacity=10, clock=clock)
+        # 100 distinct URLs in quick succession: all allowed.
+        assert all(limiter.try_acquire(f"url-{i}") for i in range(100))
+
+    def test_same_key_exhausts(self):
+        clock = VirtualClock()
+        limiter = KeyedRateLimiter(rate=10 / 60, capacity=10, clock=clock)
+        allowed = sum(limiter.try_acquire("same") for _ in range(15))
+        assert allowed == 10
+
+    def test_wait_time_positive_when_exhausted(self):
+        clock = VirtualClock()
+        limiter = KeyedRateLimiter(rate=1.0, capacity=1, clock=clock)
+        limiter.try_acquire("k")
+        assert limiter.wait_time("k") > 0
+
+
+class TestHeaderRateLimiter:
+    def _response(self, remaining: int, reset_at: float) -> Response:
+        headers = Headers({
+            "X-RateLimit-Remaining": str(remaining),
+            "X-RateLimit-Reset": f"{reset_at:.0f}",
+        })
+        return Response(status=200, headers=headers)
+
+    def test_floor_interval_enforced(self):
+        clock = VirtualClock()
+        limiter = HeaderRateLimiter(clock, floor_interval=1.0)
+        limiter.before_request()
+        waited = limiter.before_request()
+        assert waited == pytest.approx(1.0)
+
+    def test_sleeps_to_reset_when_exhausted(self):
+        clock = VirtualClock()
+        limiter = HeaderRateLimiter(clock, floor_interval=0.0)
+        limiter.before_request()
+        reset_at = clock.now() + 30.0
+        limiter.after_response(self._response(remaining=0, reset_at=reset_at))
+        limiter.before_request()
+        assert clock.now() >= reset_at
+
+    def test_no_wait_with_budget_remaining(self):
+        clock = VirtualClock()
+        limiter = HeaderRateLimiter(clock, floor_interval=0.0)
+        limiter.before_request()
+        limiter.after_response(self._response(remaining=100, reset_at=clock.now() + 300))
+        assert limiter.before_request() == 0.0
+
+    def test_malformed_headers_tolerated(self):
+        clock = VirtualClock()
+        limiter = HeaderRateLimiter(clock)
+        response = Response(status=200, headers=Headers({
+            "X-RateLimit-Remaining": "garbage",
+            "X-RateLimit-Reset": "also-garbage",
+        }))
+        limiter.after_response(response)   # must not raise
+        limiter.before_request()
+
+    def test_total_waited_accumulates(self):
+        clock = VirtualClock()
+        limiter = HeaderRateLimiter(clock, floor_interval=2.0)
+        limiter.before_request()
+        limiter.before_request()
+        limiter.before_request()
+        assert limiter.total_waited == pytest.approx(4.0)

@@ -1,0 +1,105 @@
+"""Router unit tests (pattern compilation, dispatch, middleware)."""
+
+import pytest
+
+from repro.net.http import Request, Response
+from repro.net.router import App, Route, _compile_pattern
+
+
+class TestPatternCompilation:
+    def test_literal(self):
+        regex = _compile_pattern("/exact/path")
+        assert regex.match("/exact/path")
+        assert not regex.match("/exact/path/more")
+
+    def test_single_segment_placeholder(self):
+        regex = _compile_pattern("/user/{name}")
+        assert regex.match("/user/alice").group("name") == "alice"
+        assert not regex.match("/user/alice/extra")
+        assert not regex.match("/user/")
+
+    def test_multiple_placeholders(self):
+        regex = _compile_pattern("/a/{x}/b/{y}")
+        match = regex.match("/a/1/b/2")
+        assert match.group("x") == "1" and match.group("y") == "2"
+
+    def test_greedy_placeholder(self):
+        regex = _compile_pattern("/files/{rest...}")
+        assert regex.match("/files/a/b/c").group("rest") == "a/b/c"
+
+    def test_regex_metacharacters_escaped(self):
+        regex = _compile_pattern("/comments:analyze")
+        assert regex.match("/comments:analyze")
+        regex = _compile_pattern("/a.b")
+        assert regex.match("/a.b")
+        assert not regex.match("/aXb")
+
+
+class TestRoute:
+    def test_method_mismatch(self):
+        route = Route(
+            method="GET", pattern="/x", handler=lambda r, p: Response(200),
+            regex=_compile_pattern("/x"),
+        )
+        assert route.match("POST", "/x") is None
+        assert route.match("GET", "/x") == {}
+
+
+class TestAppDispatch:
+    def _app(self):
+        app = App("Example.COM")
+        calls = []
+
+        @app.get("/first/{x}")
+        def first(request, params):
+            calls.append(("first", params))
+            return Response.html("first")
+
+        @app.get("/{anything}")
+        def catch(request, params):
+            calls.append(("catch", params))
+            return Response.html("catch")
+
+        @app.post("/submit")
+        def submit(request, params):
+            return Response.html(request.body.decode())
+
+        return app, calls
+
+    def test_host_lowercased(self):
+        app, _ = self._app()
+        assert app.host == "example.com"
+
+    def test_first_matching_route_wins(self):
+        app, calls = self._app()
+        app.handle(Request("GET", "https://example.com/first/1"))
+        assert calls[-1][0] == "first"
+        app.handle(Request("GET", "https://example.com/other"))
+        assert calls[-1][0] == "catch"
+
+    def test_post_body_reaches_handler(self):
+        app, _ = self._app()
+        request = Request("POST", "https://example.com/submit")
+        request.body = b"payload"
+        assert app.handle(request).text == "payload"
+
+    def test_unmatched_method_404(self):
+        app, _ = self._app()
+        response = app.handle(Request("POST", "https://example.com/first/1"))
+        # POST /first/1 matches no POST route; the catch-all is GET-only.
+        assert response.status == 404
+
+    def test_response_url_stamped(self):
+        app, _ = self._app()
+        response = app.handle(Request("GET", "https://example.com/abc"))
+        assert response.url == "https://example.com/abc"
+
+    def test_middleware_short_circuits(self):
+        app, calls = self._app()
+        app.use(lambda request: Response(status=403, body=b"blocked")
+                if "secret" in request.path else None)
+        blocked = app.handle(Request("GET", "https://example.com/secret"))
+        assert blocked.status == 403
+        allowed = app.handle(Request("GET", "https://example.com/open"))
+        assert allowed.status == 200
+        assert calls[-1][0] == "catch"

@@ -1,0 +1,240 @@
+"""Tests for the loopback transport, router, and HTTP client."""
+
+import pytest
+
+from repro.net import (
+    App,
+    ConnectError,
+    FaultPlan,
+    HttpClient,
+    LoopbackTransport,
+    Request,
+    Response,
+    TimeoutError,
+    TooManyRedirects,
+    VirtualClock,
+)
+
+
+def _make_app() -> App:
+    app = App("test.example")
+
+    @app.get("/hello/{name}")
+    def hello(request, params):
+        return Response.html(f"<p>hi {params['name']}</p>")
+
+    @app.get("/echo")
+    def echo(request, params):
+        return Response.json_response(request.query)
+
+    @app.get("/chain/{n}")
+    def chain(request, params):
+        n = int(params["n"])
+        if n <= 0:
+            return Response.html("<p>done</p>")
+        return Response.redirect(f"/chain/{n - 1}")
+
+    @app.get("/cookie")
+    def cookie(request, params):
+        response = Response.html("<p>set</p>")
+        response.headers.add("Set-Cookie", "sid=abc; Path=/")
+        return response
+
+    @app.get("/whoami")
+    def whoami(request, params):
+        return Response.html(f"<p>{request.cookie_header() or 'anon'}</p>")
+
+    @app.get("/files/{path...}")
+    def files(request, params):
+        return Response.html(f"<p>{params['path']}</p>")
+
+    return app
+
+
+@pytest.fixture()
+def stack():
+    clock = VirtualClock()
+    transport = LoopbackTransport(clock=clock, latency=0.01)
+    transport.register(_make_app())
+    return clock, transport, HttpClient(transport)
+
+
+class TestRouting:
+    def test_path_params(self, stack):
+        _, _, client = stack
+        r = client.get("https://test.example/hello/world")
+        assert r.status == 200 and "hi world" in r.text
+
+    def test_query_params(self, stack):
+        _, _, client = stack
+        r = client.get("https://test.example/echo", params={"a": 1, "b": "x"})
+        assert r.json() == {"a": "1", "b": "x"}
+
+    def test_greedy_segment(self, stack):
+        _, _, client = stack
+        r = client.get("https://test.example/files/a/b/c.txt")
+        assert "a/b/c.txt" in r.text
+
+    def test_404_for_unknown_route(self, stack):
+        _, _, client = stack
+        assert client.get("https://test.example/nope").status == 404
+
+    def test_unknown_host_raises(self, stack):
+        _, _, client = stack
+        with pytest.raises(ConnectError):
+            client.get("https://unknown.example/")
+
+
+class TestRedirects:
+    def test_follows_chain(self, stack):
+        _, _, client = stack
+        r = client.get("https://test.example/chain/3")
+        assert r.status == 200 and "done" in r.text
+        assert client.stats.redirects_followed == 3
+
+    def test_redirect_limit(self, stack):
+        _, _, client = stack
+        with pytest.raises(TooManyRedirects):
+            client.get("https://test.example/chain/10")
+
+    def test_no_follow_option(self, stack):
+        _, _, client = stack
+        r = client.get("https://test.example/chain/1", follow_redirects=False)
+        assert r.status == 302
+
+
+class TestCookiesIntegration:
+    def test_cookie_round_trip(self, stack):
+        _, _, client = stack
+        client.get("https://test.example/cookie")
+        r = client.get("https://test.example/whoami")
+        assert "sid=abc" in r.text
+
+
+class TestClockAndLatency:
+    def test_latency_charged(self, stack):
+        clock, _, client = stack
+        start = clock.now()
+        client.get("https://test.example/hello/a")
+        assert clock.now() - start == pytest.approx(0.01)
+
+    def test_elapsed_recorded(self, stack):
+        _, _, client = stack
+        r = client.get("https://test.example/hello/a")
+        assert r.elapsed == pytest.approx(0.01)
+
+
+class TestFaultInjection:
+    def _faulty_client(self, timeout_rate=0.0, error_rate=0.0, retries=3):
+        clock = VirtualClock()
+        transport = LoopbackTransport(
+            clock=clock,
+            faults=FaultPlan(
+                timeout_rate=timeout_rate,
+                error_rate=error_rate,
+                max_faults_per_url=2,
+            ),
+            seed=1,
+        )
+        transport.register(_make_app())
+        return HttpClient(transport, max_retries=retries, backoff=0.1)
+
+    def test_timeouts_retried_to_success(self):
+        client = self._faulty_client(timeout_rate=0.9)
+        r = client.get("https://test.example/hello/x")
+        assert r.status == 200
+        assert client.stats.timeouts >= 1
+
+    def test_503_retried_to_success(self):
+        client = self._faulty_client(error_rate=0.9)
+        r = client.get("https://test.example/hello/y")
+        assert r.status == 200
+        assert client.stats.retries >= 1
+
+    def test_exhausted_retries_raise_timeout(self):
+        clock = VirtualClock()
+        transport = LoopbackTransport(
+            clock=clock,
+            faults=FaultPlan(timeout_rate=1.0, max_faults_per_url=100),
+            seed=1,
+        )
+        transport.register(_make_app())
+        client = HttpClient(transport, max_retries=2, backoff=0.01)
+        with pytest.raises(TimeoutError):
+            client.get("https://test.example/hello/z")
+
+    def test_get_or_none_swallows(self):
+        clock = VirtualClock()
+        transport = LoopbackTransport(
+            clock=clock,
+            faults=FaultPlan(timeout_rate=1.0, max_faults_per_url=100),
+            seed=2,
+        )
+        transport.register(_make_app())
+        client = HttpClient(transport, max_retries=1, backoff=0.01)
+        assert client.get_or_none("https://test.example/hello/q") is None
+
+    def test_fault_budget_guarantees_progress(self):
+        # max_faults_per_url=2 means the third request for a URL always
+        # succeeds, so crawls terminate.
+        client = self._faulty_client(timeout_rate=1.0, retries=5)
+        assert client.get("https://test.example/hello/r").status == 200
+
+
+class TestStats:
+    def test_counters(self, stack):
+        _, transport, client = stack
+        client.get("https://test.example/hello/a")
+        client.get("https://test.example/nope")
+        assert client.stats.requests == 2
+        assert client.stats.status_counts[200] == 1
+        assert client.stats.status_counts[404] == 1
+        assert client.stats.bytes_received > 0
+        assert transport.requests_served == 2
+
+
+class TestRetryAfterHonoured:
+    def test_retry_after_header_waited(self):
+        clock = VirtualClock()
+        app = App("throttled.example")
+        state = {"calls": 0}
+
+        @app.get("/limited")
+        def limited(request, params):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                response = Response(status=429)
+                response.headers.set("Retry-After", "120")
+                return response
+            return Response.html("<p>ok</p>")
+
+        transport = LoopbackTransport(clock=clock, latency=0.0)
+        transport.register(app)
+        client = HttpClient(transport, max_retries=2, backoff=0.1)
+        start = clock.now()
+        response = client.get("https://throttled.example/limited")
+        assert response.status == 200
+        assert clock.now() - start >= 120.0
+
+    def test_rate_limit_reset_header_waited(self):
+        clock = VirtualClock()
+        app = App("window.example")
+        state = {"calls": 0}
+
+        @app.get("/limited")
+        def limited(request, params):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                response = Response(status=429)
+                response.headers.set(
+                    "X-RateLimit-Reset", f"{clock.now() + 300:.0f}"
+                )
+                return response
+            return Response.html("<p>ok</p>")
+
+        transport = LoopbackTransport(clock=clock, latency=0.0)
+        transport.register(app)
+        client = HttpClient(transport, max_retries=2, backoff=0.1)
+        start = clock.now()
+        assert client.get("https://window.example/limited").status == 200
+        assert clock.now() - start >= 299.0

@@ -1,0 +1,84 @@
+"""Tests for ADASYN oversampling."""
+
+import numpy as np
+import pytest
+
+from repro.nlp.adasyn import adasyn_oversample
+
+
+def _imbalanced(seed: int = 0, n_major: int = 200, n_minor: int = 20):
+    rng = np.random.default_rng(seed)
+    major = rng.normal((0, 0), 0.5, size=(n_major, 2))
+    minor = rng.normal((2, 2), 0.5, size=(n_minor, 2))
+    x = np.vstack([major, minor])
+    y = np.asarray([0] * n_major + [1] * n_minor)
+    return x, y
+
+
+class TestAdasyn:
+    def test_balances_classes(self):
+        x, y = _imbalanced()
+        x2, y2 = adasyn_oversample(x, y, seed=0)
+        counts = np.bincount(y2)
+        assert counts[1] == pytest.approx(counts[0], rel=0.02)
+
+    def test_originals_preserved_in_order(self):
+        x, y = _imbalanced()
+        x2, y2 = adasyn_oversample(x, y, seed=0)
+        assert np.allclose(x2[: x.shape[0]], x)
+        assert np.array_equal(y2[: y.shape[0]], y)
+
+    def test_synthetic_points_near_minority_manifold(self):
+        x, y = _imbalanced()
+        x2, y2 = adasyn_oversample(x, y, seed=0)
+        synthetic = x2[x.shape[0]:]
+        # All synthetic points carry minority labels and sit near (2, 2).
+        assert (y2[x.shape[0]:] == 1).all()
+        assert np.linalg.norm(synthetic - np.array([2, 2]), axis=1).max() < 4.0
+
+    def test_already_balanced_noop(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(40, 3))
+        y = np.asarray([0] * 20 + [1] * 20)
+        x2, y2 = adasyn_oversample(x, y)
+        assert x2.shape == x.shape
+        assert np.array_equal(y2, y)
+
+    def test_three_class_all_minorities_raised(self):
+        rng = np.random.default_rng(2)
+        x = np.vstack([
+            rng.normal((0, 0), 0.3, (100, 2)),
+            rng.normal((3, 0), 0.3, (30, 2)),
+            rng.normal((0, 3), 0.3, (10, 2)),
+        ])
+        y = np.asarray([0] * 100 + [1] * 30 + [2] * 10)
+        _, y2 = adasyn_oversample(x, y, seed=3)
+        counts = np.bincount(y2)
+        assert counts[1] >= 95 and counts[2] >= 95
+
+    def test_target_ratio_partial(self):
+        x, y = _imbalanced()
+        _, y2 = adasyn_oversample(x, y, target_ratio=0.5, seed=4)
+        counts = np.bincount(y2)
+        assert 90 <= counts[1] <= 110
+
+    def test_singleton_minority_duplicated(self):
+        x = np.vstack([np.zeros((10, 2)), [[5.0, 5.0]]])
+        y = np.asarray([0] * 10 + [1])
+        x2, y2 = adasyn_oversample(x, y, seed=5)
+        assert (y2 == 1).sum() >= 9
+        assert np.allclose(x2[y2 == 1], [5.0, 5.0])
+
+    def test_deterministic(self):
+        x, y = _imbalanced()
+        a = adasyn_oversample(x, y, seed=9)
+        b = adasyn_oversample(x, y, seed=9)
+        assert np.allclose(a[0], b[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adasyn_oversample(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            adasyn_oversample(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            adasyn_oversample(np.zeros((4, 2)), np.zeros(4), target_ratio=0)

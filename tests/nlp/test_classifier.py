@@ -1,0 +1,93 @@
+"""Tests for the 3-class comment classifier and its training corpus."""
+
+import pytest
+
+from repro.nlp.classifier import CommentClassifier
+from repro.nlp.train_data import (
+    DAVIDSON_CLASS_COUNTS,
+    HATE,
+    NEITHER,
+    OFFENSIVE,
+    LabeledCorpus,
+    build_davidson_style_corpus,
+)
+
+
+class TestTrainingCorpus:
+    def test_class_imbalance_matches_davidson_ratios(self):
+        corpus = build_davidson_style_corpus(scale=0.1)
+        counts = corpus.class_counts()
+        # Offensive and neither dwarf hate, in the original proportions.
+        assert counts[NEITHER] > counts[OFFENSIVE] > counts[HATE]
+        ratio = counts[OFFENSIVE] / counts[HATE]
+        expected = DAVIDSON_CLASS_COUNTS[OFFENSIVE] / DAVIDSON_CLASS_COUNTS[HATE]
+        assert ratio == pytest.approx(expected, rel=0.25)
+
+    def test_full_scale_counts(self):
+        corpus = build_davidson_style_corpus(scale=1.0)
+        counts = corpus.class_counts()
+        assert counts[HATE] == DAVIDSON_CLASS_COUNTS[HATE]
+        assert counts[OFFENSIVE] == DAVIDSON_CLASS_COUNTS[OFFENSIVE]
+        assert counts[NEITHER] == DAVIDSON_CLASS_COUNTS[NEITHER]
+
+    def test_deterministic(self):
+        a = build_davidson_style_corpus(scale=0.02)
+        b = build_davidson_style_corpus(scale=0.02)
+        assert a.texts == b.texts and a.labels == b.labels
+
+    def test_corpus_validation(self):
+        with pytest.raises(ValueError):
+            LabeledCorpus(texts=("a",), labels=(0, 1))
+        with pytest.raises(ValueError):
+            build_davidson_style_corpus(scale=0)
+
+    def test_subset(self):
+        corpus = build_davidson_style_corpus(scale=0.01)
+        import numpy as np
+        sub = corpus.subset(np.asarray([0, 2, 4]))
+        assert len(sub) == 3
+        assert sub.texts[0] == corpus.texts[0]
+
+
+class TestCommentClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        corpus = build_davidson_style_corpus(scale=0.015)
+        clf = CommentClassifier(
+            max_features=600,
+            n_folds=3,
+            param_grid={"regularization": (1e-4,), "epochs": (5,)},
+            seed=0,
+        )
+        return clf.train(corpus)
+
+    def test_cv_f1_in_paper_regime(self, trained):
+        # The paper reports 0.87 with 5-fold CV at full scale; at this
+        # reduced scale we accept a band around it.
+        assert trained.cv_f1 > 0.80
+
+    def test_probabilities_valid(self, trained):
+        probs = trained.predict_proba(["some comment text", "another one"])
+        for p in probs:
+            total = p.hate + p.offensive + p.neither
+            assert total == pytest.approx(1.0, abs=1e-9)
+            assert min(p.hate, p.offensive, p.neither) >= 0.0
+
+    def test_neither_class_on_benign_text(self, trained):
+        probs = trained.predict_proba(
+            ["the article about the economy was interesting and important"]
+        )[0]
+        assert probs.predicted_label == NEITHER
+
+    def test_offensive_class_on_insults(self, trained):
+        probs = trained.predict_proba(
+            ["you are all pathetic idiots and morons and clowns"]
+        )[0]
+        assert probs.predicted_label in (OFFENSIVE, HATE)
+
+    def test_predicted_name(self, trained):
+        probs = trained.predict_proba(["the weather is nice"])[0]
+        assert probs.predicted_name in ("hate", "offensive", "neither")
+
+    def test_best_params_recorded(self, trained):
+        assert trained.best_params == {"regularization": 1e-4, "epochs": 5}

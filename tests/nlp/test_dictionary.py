@@ -1,0 +1,92 @@
+"""Tests for the synthetic Hatebase dictionary and its scorer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nlp.dictionary import (
+    AMBIGUOUS_TERMS,
+    HATEBASE_SIZE,
+    SUBSTRING_TRAP_INNOCUOUS,
+    SUBSTRING_TRAP_TERM,
+    HateDictionary,
+    build_synthetic_hatebase,
+)
+
+
+class TestSyntheticHatebase:
+    def test_exact_size(self):
+        assert len(build_synthetic_hatebase()) == HATEBASE_SIZE == 1027
+
+    def test_all_terms_unique(self):
+        terms = build_synthetic_hatebase()
+        assert len(set(terms)) == len(terms)
+
+    def test_deterministic(self):
+        assert build_synthetic_hatebase() == build_synthetic_hatebase()
+
+    def test_contains_ambiguous_everyday_words(self):
+        terms = set(build_synthetic_hatebase())
+        assert "queen" in terms and "pig" in terms
+
+    def test_contains_slang_z_variants(self):
+        terms = build_synthetic_hatebase()
+        base = set(terms)
+        variants = [t for t in terms if t.endswith("z") and t[:-1] in base]
+        assert len(variants) > 20   # ~10% of generated terms
+
+    def test_innocuous_trap_word_not_a_term(self):
+        assert SUBSTRING_TRAP_INNOCUOUS not in set(build_synthetic_hatebase())
+        assert SUBSTRING_TRAP_TERM in set(build_synthetic_hatebase())
+
+
+class TestHateDictionaryScoring:
+    def test_ratio_computation(self):
+        d = HateDictionary(terms=["scumword"])
+        score = d.score("you scumword you")
+        assert score.hate_tokens == 1
+        assert score.total_tokens == 3
+        assert score.ratio == pytest.approx(1 / 3)
+
+    def test_empty_comment(self):
+        d = HateDictionary()
+        assert d.score("").ratio == 0.0
+
+    def test_stemming_catches_inflections(self):
+        d = HateDictionary(terms=["vermin"])
+        assert d.score("those vermins everywhere").hate_tokens == 1
+
+    def test_ambiguous_false_positives_by_design(self):
+        # The paper's caveat: "queen" and "pig" are dictionary terms.
+        d = HateDictionary()
+        score = d.score("the queen visited a pig farm")
+        assert set(score.matches) == {"queen", "pig"}
+
+    def test_substring_trap_off_by_default(self):
+        d = HateDictionary()
+        assert d.score(f"I visited {SUBSTRING_TRAP_INNOCUOUS}").hate_tokens == 0
+
+    def test_substring_trap_reproduces_false_positive(self):
+        d = HateDictionary(substring_matching=True)
+        assert (
+            SUBSTRING_TRAP_INNOCUOUS
+            in d.score(f"I visited {SUBSTRING_TRAP_INNOCUOUS}").matches
+        )
+
+    def test_stopwords_never_match(self):
+        d = HateDictionary()
+        score = d.score("to be or not to be is the question")
+        assert score.hate_tokens == 0
+
+    def test_score_many_vectorised(self):
+        d = HateDictionary(terms=["badword"])
+        ratios = d.score_many(["badword here", "clean text", ""])
+        assert ratios[0] > 0 and ratios[1] == 0 and ratios[2] == 0
+
+    def test_size_property(self):
+        assert HateDictionary().size == HATEBASE_SIZE
+
+    @given(st.text(max_size=300))
+    def test_ratio_bounded(self, text):
+        score = HateDictionary().score(text)
+        assert 0.0 <= score.ratio <= 1.0
+        assert score.hate_tokens <= score.total_tokens

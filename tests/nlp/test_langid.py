@@ -1,0 +1,89 @@
+"""Tests for the character-n-gram language identifier."""
+
+import pytest
+
+from repro.nlp.langid import (
+    LanguageIdentifier,
+    SEED_CORPORA,
+    default_language_identifier,
+)
+
+SENTENCES = {
+    "en": "this is clearly an english sentence about the weekly news",
+    "de": "das ist eindeutig ein deutscher satz über die nachrichten der woche",
+    "fr": "ceci est clairement une phrase française sur les nouvelles de la semaine",
+    "es": "esta es claramente una frase española sobre las noticias de la semana",
+    "it": "questa è chiaramente una frase italiana sulle notizie della settimana",
+}
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    return default_language_identifier()
+
+
+class TestClassification:
+    @pytest.mark.parametrize("lang", sorted(SENTENCES))
+    def test_classifies_each_language(self, identifier, lang):
+        assert identifier.classify(SENTENCES[lang]) == lang
+
+    def test_empty_text_defaults_to_english(self, identifier):
+        assert identifier.classify("") == "en"
+        assert identifier.classify("   ") == "en"
+
+    def test_scores_cover_all_languages(self, identifier):
+        scores = identifier.scores("hello world")
+        assert set(scores) == set(SEED_CORPORA)
+
+    def test_classify_many(self, identifier):
+        texts = [SENTENCES["en"], SENTENCES["de"]]
+        assert identifier.classify_many(texts) == ["en", "de"]
+
+    def test_short_toxic_english_stays_english(self, identifier):
+        # Slang/pseudo-word-laden comments must not drift to other
+        # languages (the domain-vocabulary training requirement).
+        assert identifier.classify("you pathetic sheeple idiots") == "en"
+
+
+class TestTraining:
+    def test_untrained_identifier_rejected(self):
+        with pytest.raises(RuntimeError):
+            LanguageIdentifier().scores("text")
+
+    def test_empty_corpora_rejected(self):
+        with pytest.raises(ValueError):
+            LanguageIdentifier().fit({})
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LanguageIdentifier(order=0)
+        with pytest.raises(ValueError):
+            LanguageIdentifier(smoothing=0)
+
+    def test_two_language_custom_training(self):
+        li = LanguageIdentifier(order=2).fit(
+            {"aa": "aaaa aaaa aaaa", "bb": "bbbb bbbb bbbb"}
+        )
+        assert li.classify("aaa") == "aa"
+        assert li.classify("bbb") == "bb"
+
+
+class TestCorpusLevelAccuracy:
+    def test_accuracy_on_generated_comments(self, identifier, medium_world):
+        comments = medium_world.dissenter.comments[:2500]
+        correct = sum(
+            1
+            for c in comments
+            if identifier.classify(c.text) == c.language
+        )
+        assert correct / len(comments) > 0.9
+
+    def test_foreign_comments_perfectly_recognised(self, identifier, medium_world):
+        foreign = [
+            c for c in medium_world.dissenter.comments if c.language != "en"
+        ][:150]
+        assert foreign, "world should contain non-English comments"
+        correct = sum(
+            1 for c in foreign if identifier.classify(c.text) == c.language
+        )
+        assert correct / len(foreign) > 0.95

@@ -1,0 +1,120 @@
+"""Tests for metrics, cross-validation, and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.nlp.model_select import (
+    confusion_matrix,
+    cross_validate,
+    f1_score,
+    grid_search,
+    macro_f1,
+    weighted_f1,
+)
+
+
+class _MajorityModel:
+    """Predicts the training majority class; used to make CV deterministic."""
+
+    def __init__(self, bias: int = 0):
+        self._bias = bias
+        self._majority = None
+
+    def fit(self, x, y):
+        values, counts = np.unique(y, return_counts=True)
+        self._majority = values[np.argmax(counts + self._bias)]
+        return self
+
+    def predict(self, x):
+        return np.full(len(x), self._majority)
+
+
+class TestMetrics:
+    def test_confusion_matrix_values(self):
+        matrix, classes = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert classes == [0, 1]
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_confusion_matrix_explicit_classes(self):
+        matrix, classes = confusion_matrix([0], [0], classes=[0, 1, 2])
+        assert matrix.shape == (3, 3)
+        assert classes == [0, 1, 2]
+
+    def test_confusion_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+    def test_perfect_f1(self):
+        assert f1_score([1, 0, 1], [1, 0, 1], positive_class=1) == 1.0
+
+    def test_no_true_positives(self):
+        assert f1_score([1, 1], [0, 0], positive_class=1) == 0.0
+
+    def test_known_f1_value(self):
+        # tp=1, fp=1, fn=1 -> precision=recall=0.5 -> F1=0.5
+        assert f1_score([1, 1, 0], [1, 0, 1], 1) == pytest.approx(0.5)
+
+    def test_macro_f1_averages_classes(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 0, 0, 0]
+        expected = (f1_score(y_true, y_pred, 0) + f1_score(y_true, y_pred, 1)) / 2
+        assert macro_f1(y_true, y_pred) == pytest.approx(expected)
+
+    def test_weighted_f1_respects_support(self):
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        w = weighted_f1(y_true, y_pred)
+        m = macro_f1(y_true, y_pred)
+        assert w > m   # the all-majority prediction looks better weighted
+
+
+class TestCrossValidate:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 2))
+        y = np.asarray([0] * 40 + [1] * 20)
+        return x, y
+
+    def test_fold_count(self):
+        x, y = self._data()
+        result = cross_validate(_MajorityModel, x, y, n_folds=5)
+        assert len(result.fold_scores) == 5
+
+    def test_mean_and_std(self):
+        x, y = self._data()
+        result = cross_validate(_MajorityModel, x, y, n_folds=4)
+        assert 0.0 <= result.mean <= 1.0
+        assert result.std >= 0.0
+
+    def test_resampler_applied_to_training_only(self):
+        x, y = self._data()
+        seen_sizes = []
+
+        def spy_resampler(xt, yt):
+            seen_sizes.append(len(yt))
+            return xt, yt
+
+        cross_validate(_MajorityModel, x, y, n_folds=5, resampler=spy_resampler)
+        # Each fold's training portion has 48 samples (60 - 12 test).
+        assert all(size == 48 for size in seen_sizes)
+
+
+class TestGridSearch:
+    def test_selects_best_params(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(40, 2))
+        y = np.asarray([0] * 30 + [1] * 10)
+        # bias=+100 forces predicting class 1, which scores worse under
+        # weighted F1 on this majority-0 dataset.
+        result = grid_search(
+            lambda bias: _MajorityModel(bias=bias),
+            {"bias": [0, 100]},
+            x, y, n_folds=4,
+        )
+        assert result.best_params == {"bias": 0}
+        assert len(result.all_results) == 2
+        assert result.best_score == max(r.mean for _, r in result.all_results)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search(_MajorityModel, {}, np.zeros((4, 1)), [0, 0, 1, 1])

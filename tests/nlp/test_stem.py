@@ -1,0 +1,114 @@
+"""Tests for the Porter stemmer against the algorithm's canonical examples."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nlp.stem import PorterStemmer, stem
+
+# Canonical examples from Porter's 1980 paper, step by step.
+CANONICAL = [
+    # Step 1a
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    # Step 1b
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    # Step 1c
+    ("happy", "happi"),
+    ("sky", "sky"),
+    # Step 2
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("digitizer", "digit"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formality", "formal"),
+    ("sensitivity", "sensit"),
+    ("sensibility", "sensibl"),
+    # Step 3
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electricity", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    # Step 4
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # Step 5
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+class TestPorterCanonical:
+    @pytest.mark.parametrize("word,expected", CANONICAL)
+    def test_canonical_example(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestStemmerBehaviour:
+    def test_short_tokens_unchanged(self):
+        assert stem("a") == "a"
+        assert stem("is") == "is"
+        assert stem("ox") == "ox"
+
+    def test_case_insensitive(self):
+        assert stem("Running") == stem("running")
+
+    def test_idempotent_on_common_words(self):
+        stemmer = PorterStemmer()
+        for word in ("run", "hous", "troubl", "fall", "govern"):
+            assert stemmer.stem(stemmer.stem(word)) == stemmer.stem(word)
+
+    def test_inflected_family_collapses(self):
+        family = ["connect", "connected", "connecting", "connection", "connections"]
+        stems = {stem(w) for w in family}
+        assert stems == {"connect"}
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+    def test_never_longer_than_input(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=20))
+    def test_output_nonempty_lowercase(self, word):
+        result = stem(word)
+        assert result
+        assert result == result.lower()

@@ -1,0 +1,103 @@
+"""Tests for the from-scratch linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.nlp.svm import LinearSVM, OneVsRestSVM
+
+
+def _blobs(n_per_class: int, centers, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for label, center in enumerate(centers):
+        xs.append(rng.normal(loc=center, scale=0.4, size=(n_per_class, len(center))))
+        ys.extend([label] * n_per_class)
+    return np.vstack(xs), np.asarray(ys)
+
+
+class TestLinearSVM:
+    def test_separates_linearly_separable_data(self):
+        x, y = _blobs(100, [(-2, -2), (2, 2)])
+        labels = np.where(y == 0, -1, 1)
+        model = LinearSVM(epochs=20, seed=0).fit(x, labels)
+        accuracy = (model.predict(x) == labels).mean()
+        assert accuracy > 0.98
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = _blobs(50, [(-1, 0), (1, 0)], seed=1)
+        labels = np.where(y == 0, -1, 1)
+        model = LinearSVM(epochs=10, seed=1).fit(x, labels)
+        decisions = model.decision_function(x)
+        predictions = model.predict(x)
+        assert np.all(np.sign(decisions).astype(int) == predictions)
+
+    def test_label_validation(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            LinearSVM().fit(x, [0, 1, 0, 1])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros(5), [1, -1, 1, -1, 1])
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((3, 2)), [1, -1])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self):
+        x, y = _blobs(50, [(-1, -1), (1, 1)], seed=2)
+        labels = np.where(y == 0, -1, 1)
+        a = LinearSVM(epochs=5, seed=3).fit(x, labels)
+        b = LinearSVM(epochs=5, seed=3).fit(x, labels)
+        assert np.allclose(a.weights_, b.weights_)
+        assert a.bias_ == pytest.approx(b.bias_)
+
+    def test_regularization_shrinks_weights(self):
+        x, y = _blobs(100, [(-2, -2), (2, 2)], seed=4)
+        labels = np.where(y == 0, -1, 1)
+        weak = LinearSVM(regularization=1e-5, epochs=10, seed=0).fit(x, labels)
+        strong = LinearSVM(regularization=1e-1, epochs=10, seed=0).fit(x, labels)
+        assert np.linalg.norm(strong.weights_) < np.linalg.norm(weak.weights_)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM(regularization=0)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)
+
+
+class TestOneVsRestSVM:
+    def test_three_class_blobs(self):
+        x, y = _blobs(80, [(-3, 0), (3, 0), (0, 4)], seed=5)
+        model = OneVsRestSVM(epochs=15, seed=0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_predict_proba_rows_sum_to_one(self):
+        x, y = _blobs(40, [(-2, 0), (2, 0), (0, 3)], seed=6)
+        model = OneVsRestSVM(epochs=5, seed=0).fit(x, y)
+        probs = model.predict_proba(x)
+        assert probs.shape == (120, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_argmax_proba_matches_predict(self):
+        x, y = _blobs(40, [(-2, -2), (2, 2), (2, -2)], seed=7)
+        model = OneVsRestSVM(epochs=10, seed=1).fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.all(model.classes_[probs.argmax(axis=1)] == model.predict(x))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            OneVsRestSVM().fit(np.zeros((3, 2)), [1, 1, 1])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            OneVsRestSVM().predict(np.zeros((1, 2)))
+
+    def test_arbitrary_class_labels_preserved(self):
+        x, y = _blobs(30, [(-2, 0), (2, 0)], seed=8)
+        renamed = np.where(y == 0, 7, 42)
+        model = OneVsRestSVM(epochs=10, seed=0).fit(x, renamed)
+        assert set(model.predict(x)) <= {7, 42}

@@ -1,0 +1,85 @@
+"""Tests for text cleaning, tokenisation, and n-grams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nlp.ngrams import char_ngrams, extract_ngrams, ngram_counts
+from repro.nlp.tokenize import caps_ratio, clean_text, sentence_count, tokenize
+
+
+class TestCleanText:
+    def test_strips_urls(self):
+        assert "http" not in clean_text("look at https://example.com/page now")
+        assert clean_text("see www.example.com please") == "see please"
+
+    def test_strips_mentions(self):
+        assert clean_text("hey @someone what gives") == "hey what gives"
+
+    def test_strips_html_entities(self):
+        assert clean_text("a &amp; b &#39;c") == "a b c"
+
+    def test_lowercases_and_collapses_whitespace(self):
+        assert clean_text("  HELLO   World ") == "hello world"
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Free speech, online!") == ["free", "speech", "online"]
+
+    def test_keeps_numbers_and_contractions(self):
+        assert tokenize("it's 2020 folks") == ["it's", "2020", "folks"]
+
+    def test_strips_bare_apostrophes(self):
+        assert tokenize("'' quoted '") == ["quoted"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert tokenize("!!! ... ???") == []
+
+    @given(st.text(max_size=200))
+    def test_tokens_match_charset(self, text):
+        for token in tokenize(text):
+            assert token
+            assert all(c.islower() or c.isdigit() or c == "'" for c in token)
+
+
+class TestSurfaceFeatures:
+    def test_sentence_count(self):
+        assert sentence_count("One. Two! Three?") == 3
+        assert sentence_count("no punctuation") == 1
+
+    def test_caps_ratio(self):
+        assert caps_ratio("SHOUTING") == 1.0
+        assert caps_ratio("quiet words") == 0.0
+        assert caps_ratio("Half HALF") == pytest.approx(5 / 8)
+        assert caps_ratio("12345 !!!") == 0.0
+
+
+class TestNgrams:
+    def test_unigrams_and_bigrams(self):
+        grams = extract_ngrams(["free", "speech", "now"], (1, 2))
+        assert grams == ["free", "speech", "now", "free_speech", "speech_now"]
+
+    def test_order_too_large_yields_no_grams(self):
+        assert extract_ngrams(["one"], (2,)) == []
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            extract_ngrams(["a"], (0,))
+
+    def test_counts(self):
+        counts = ngram_counts(["a", "b", "a", "b"], (1,))
+        assert counts["a"] == 2 and counts["b"] == 2
+
+    def test_char_ngrams_padded(self):
+        grams = char_ngrams("ab", 3, pad=True)
+        assert "\x00\x00a" in grams
+        assert "b\x00\x00" in grams
+
+    def test_char_ngrams_unpadded_short_text(self):
+        assert char_ngrams("ab", 3, pad=False) == []
+
+    @given(st.text(min_size=0, max_size=50), st.integers(1, 4))
+    def test_char_ngram_count(self, text, order):
+        grams = char_ngrams(text, order, pad=False)
+        assert len(grams) == max(0, len(text) - order + 1)

@@ -1,0 +1,85 @@
+"""Tests for count / TF-IDF vectorisation."""
+
+import numpy as np
+import pytest
+
+from repro.nlp.vectorize import CountVectorizer, TfidfVectorizer, default_analyzer
+
+
+DOCS = [
+    "free speech matters",
+    "free speech is under attack",
+    "the attack on free speech",
+    "totally unrelated words here",
+]
+
+
+class TestDefaultAnalyzer:
+    def test_stems_and_bigrams(self):
+        analyze = default_analyzer()
+        feats = analyze("Running quickly")
+        assert "run" in feats
+        assert "run_quickli" in feats
+
+
+class TestCountVectorizer:
+    def test_shape_and_counts(self):
+        v = CountVectorizer(analyzer=str.split)
+        matrix = v.fit_transform(DOCS)
+        assert matrix.shape == (4, len(v.vocabulary_))
+        free_col = v.vocabulary_["free"]
+        assert matrix[0, free_col] == 1
+        assert matrix[3, free_col] == 0
+
+    def test_min_df_filters_rare_terms(self):
+        v = CountVectorizer(analyzer=str.split, min_df=2)
+        v.fit(DOCS)
+        assert "unrelated" not in v.vocabulary_
+        assert "free" in v.vocabulary_
+
+    def test_max_features_keeps_most_frequent(self):
+        v = CountVectorizer(analyzer=str.split, max_features=2)
+        v.fit(DOCS)
+        assert len(v.vocabulary_) == 2
+        assert "free" in v.vocabulary_ or "speech" in v.vocabulary_
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            CountVectorizer().transform(["x"])
+
+    def test_unknown_tokens_ignored(self):
+        v = CountVectorizer(analyzer=str.split)
+        v.fit(DOCS[:1])
+        matrix = v.transform(["neverseen tokens free"])
+        assert matrix.sum() == 1.0   # only "free" known
+
+    def test_vocabulary_deterministic(self):
+        v1 = CountVectorizer(analyzer=str.split).fit(DOCS)
+        v2 = CountVectorizer(analyzer=str.split).fit(DOCS)
+        assert v1.vocabulary_ == v2.vocabulary_
+
+
+class TestTfidfVectorizer:
+    def test_rows_l2_normalised(self):
+        v = TfidfVectorizer(analyzer=str.split)
+        matrix = v.fit_transform(DOCS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert norms == pytest.approx(np.ones(4))
+
+    def test_rare_terms_weighted_higher(self):
+        v = TfidfVectorizer(analyzer=str.split)
+        v.fit(DOCS)
+        idf = v.idf_
+        common = idf[v.vocabulary_["free"]]
+        rare = idf[v.vocabulary_["unrelated"]]
+        assert rare > common
+
+    def test_all_unknown_row_is_zero(self):
+        v = TfidfVectorizer(analyzer=str.split)
+        v.fit(DOCS)
+        row = v.transform(["zzz qqq"])
+        assert np.allclose(row, 0.0)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["x"])

@@ -1,0 +1,100 @@
+"""Tests for the HTTP-shaped Perspective API."""
+
+import pytest
+
+from repro.net import HttpClient, LoopbackTransport, VirtualClock
+from repro.perspective.http_api import (
+    HttpPerspectiveClient,
+    PerspectiveHttpApp,
+)
+from repro.perspective.models import PerspectiveModels, score_comment
+
+
+def _stack(daily_quota=None):
+    clock = VirtualClock()
+    transport = LoopbackTransport(clock=clock, latency=0.0)
+    app = PerspectiveHttpApp(
+        models=PerspectiveModels(), daily_quota=daily_quota, clock=clock
+    )
+    transport.register(app)
+    return clock, HttpPerspectiveClient(HttpClient(transport))
+
+
+class TestAnalyzeEndpoint:
+    def test_scores_match_local_models(self):
+        _, client = _stack()
+        text = "you pathetic disgusting clowns are braindead trash"
+        over_http = client.analyze(text)
+        local = score_comment(text)
+        for name, value in over_http.items():
+            assert value == pytest.approx(local[name])
+
+    def test_requested_attributes_only(self):
+        _, client = _stack()
+        scores = client.analyze("hello", attributes=("OBSCENE",))
+        assert set(scores) == {"OBSCENE"}
+
+    def test_unknown_attribute_rejected(self):
+        _, client = _stack()
+        with pytest.raises(ValueError):
+            client.analyze("hello", attributes=("NOT_A_MODEL",))
+
+    def test_batch_order(self):
+        _, client = _stack()
+        texts = ["first", "second", "third"]
+        results = client.analyze_batch(texts, attributes=("SEVERE_TOXICITY",))
+        expected = [score_comment(t)["SEVERE_TOXICITY"] for t in texts]
+        assert [r["SEVERE_TOXICITY"] for r in results] == pytest.approx(expected)
+        assert client.requests_made == 3
+
+    def test_malformed_request_400(self):
+        clock = VirtualClock()
+        transport = LoopbackTransport(clock=clock, latency=0.0)
+        transport.register(PerspectiveHttpApp(clock=clock))
+        http = HttpClient(transport)
+        response = http.post(
+            "https://perspectiveapi.invalid/v1alpha1/comments:analyze",
+            body=b"not json",
+        )
+        assert response.status == 400
+
+
+class TestQuota:
+    def test_quota_exhaustion_yields_429(self):
+        clock = VirtualClock()
+        transport = LoopbackTransport(clock=clock, latency=0.0)
+        transport.register(
+            PerspectiveHttpApp(daily_quota=3, clock=clock)
+        )
+        # max_retries=0 so the 429 surfaces instead of being waited out.
+        http = HttpClient(transport, max_retries=0)
+        client = HttpPerspectiveClient(http)
+        for _ in range(3):
+            client.analyze("ok")
+        from repro.net.errors import HTTPStatusError
+        with pytest.raises(HTTPStatusError):
+            client.analyze("over quota")
+
+    def test_quota_window_resets_after_a_day(self):
+        clock = VirtualClock()
+        transport = LoopbackTransport(clock=clock, latency=0.0)
+        transport.register(PerspectiveHttpApp(daily_quota=2, clock=clock))
+        http = HttpClient(transport, max_retries=0)
+        client = HttpPerspectiveClient(http)
+        client.analyze("a")
+        client.analyze("b")
+        clock.sleep(86_401)
+        assert client.analyze("c")   # window refreshed
+
+    def test_retry_after_waits_out_the_window(self):
+        clock = VirtualClock()
+        transport = LoopbackTransport(clock=clock, latency=0.0)
+        transport.register(PerspectiveHttpApp(daily_quota=1, clock=clock))
+        # Default client honours Retry-After; the second call should
+        # succeed after a (simulated) day-long wait.
+        http = HttpClient(transport, max_retries=3, backoff=0.1)
+        client = HttpPerspectiveClient(http)
+        client.analyze("a")
+        start = clock.now()
+        client.analyze("b")
+        assert clock.now() - start >= 86_000

@@ -1,0 +1,154 @@
+"""Tests for the Dissenter platform state generator."""
+
+import numpy as np
+import pytest
+
+from repro.platform.config import WorldConfig
+from repro.platform.entities import USER_FLAG_NAMES, VIEW_FILTER_NAMES
+
+
+class TestUsers:
+    def test_author_ids_unique(self, medium_world):
+        ids = [u.author_id.hex for u in medium_world.dissenter.users]
+        assert len(set(ids)) == len(ids)
+
+    def test_author_id_encodes_join_time(self, medium_world):
+        for user in medium_world.dissenter.users[:100]:
+            assert user.author_id.timestamp == int(user.created_at)
+
+    def test_join_after_launch(self, medium_world):
+        launch = medium_world.config.epoch_dissenter
+        for user in medium_world.dissenter.users:
+            assert user.created_at >= launch
+
+    def test_join_after_gab_account(self, medium_world):
+        gab = medium_world.gab.by_username
+        for user in medium_world.dissenter.users:
+            assert user.created_at > gab[user.username].created_at
+
+    def test_first_month_join_fraction(self, medium_world):
+        launch = medium_world.config.epoch_dissenter
+        cutoff = launch + 35 * 86_400
+        users = medium_world.dissenter.users
+        early = sum(1 for u in users if u.created_at <= cutoff) / len(users)
+        assert 0.68 < early < 0.85   # paper: 77%
+
+    def test_flags_complete(self, medium_world):
+        for user in medium_world.dissenter.users[:50]:
+            assert set(user.flags) == set(USER_FLAG_NAMES)
+            assert set(user.view_filters) == set(VIEW_FILTER_NAMES)
+
+    def test_exactly_two_admins_no_moderators(self, medium_world):
+        users = medium_world.dissenter.users
+        admins = [u for u in users if u.flags["isAdmin"]]
+        assert {u.username for u in admins} == {"a", "shadowknight412"}
+        assert not any(u.flags["isModerator"] for u in users)
+
+    def test_banned_users_cannot_login_or_post(self, medium_world):
+        banned = [u for u in medium_world.dissenter.users if u.flags["isBanned"]]
+        assert banned
+        for user in banned:
+            assert not user.flags["canLogin"]
+            assert not user.flags["canPost"]
+
+    def test_filter_frequencies_near_table1(self, medium_world):
+        users = medium_world.dissenter.users
+        nsfw = sum(u.view_filters["nsfw"] for u in users) / len(users)
+        offensive = sum(u.view_filters["offensive"] for u in users) / len(users)
+        pro = sum(u.view_filters["pro"] for u in users) / len(users)
+        assert 0.10 < nsfw < 0.20          # paper: 15.04%
+        assert 0.04 < offensive < 0.11     # paper: 7.33%
+        assert pro > 0.99                  # paper: 99.85%
+
+    def test_censorship_bios_near_quarter(self, medium_world):
+        users = medium_world.dissenter.users
+        fraction = sum(
+            1 for u in users if "censorship" in u.bio.lower()
+        ) / len(users)
+        assert 0.18 < fraction < 0.32      # paper: 25%
+
+    def test_orphaned_users_exist(self, medium_world):
+        assert any(u.gab_deleted for u in medium_world.dissenter.users)
+
+
+class TestComments:
+    def test_comment_ids_unique(self, medium_world):
+        ids = [c.comment_id.hex for c in medium_world.dissenter.comments]
+        assert len(set(ids)) == len(ids)
+
+    def test_active_fraction_near_47_percent(self, medium_world):
+        state = medium_world.dissenter
+        fraction = len(state.active_users()) / len(state.users)
+        assert 0.40 < fraction < 0.55
+
+    def test_replies_reference_same_url_and_earlier_parent(self, medium_world):
+        state = medium_world.dissenter
+        index = {c.comment_id: c for c in state.comments}
+        replies = [c for c in state.comments if c.is_reply][:500]
+        assert replies
+        for reply in replies:
+            parent = index[reply.parent_comment_id]
+            assert parent.commenturl_id == reply.commenturl_id
+            assert parent.created_at <= reply.created_at
+
+    def test_reply_chains_can_nest(self, medium_world):
+        """§3.2: replies to replies are valid, unbounded depth."""
+        state = medium_world.dissenter
+        index = {c.comment_id: c for c in state.comments}
+        max_depth = 0
+        for comment in state.comments:
+            depth = 0
+            node = comment
+            while node.parent_comment_id is not None and depth < 50:
+                node = index[node.parent_comment_id]
+                depth += 1
+            max_depth = max(max_depth, depth)
+        assert max_depth >= 2
+
+    def test_shadow_rates(self, medium_world):
+        comments = medium_world.dissenter.comments
+        nsfw = sum(c.nsfw for c in comments) / len(comments)
+        offensive = sum(c.offensive for c in comments) / len(comments)
+        assert 0.003 < nsfw < 0.010        # paper: ~0.6%
+        assert 0.002 < offensive < 0.008   # paper: ~0.5%
+
+    def test_mega_comment_planted(self, medium_world):
+        longest = max(medium_world.dissenter.comments, key=lambda c: len(c.text))
+        assert len(longest.text) > 90_000
+        assert longest.text.startswith("ha ha")
+
+    def test_comment_times_within_study_window(self, medium_world):
+        config = medium_world.config
+        for comment in medium_world.dissenter.comments[:1000]:
+            assert config.epoch_dissenter - 86_400 <= comment.created_at
+            assert comment.created_at <= config.crawl_time + 86_400
+
+    def test_latents_attached_and_bounded(self, medium_world):
+        for comment in medium_world.dissenter.comments[:500]:
+            latent = comment.latent
+            assert latent is not None
+            for value in (latent.toxicity, latent.obscene, latent.attack,
+                          latent.reject):
+                assert 0.0 <= value <= 1.0
+
+
+class TestPlantedCore:
+    def test_core_disabled_by_default(self, medium_world):
+        assert medium_world.dissenter.planted_core_plan == []
+
+    def test_core_planted_when_requested(self):
+        from repro.platform import build_world
+        config = WorldConfig(
+            scale=0.01, seed=2, planted_core_size=42,
+            core_components=6, core_giant_size=32,
+        )
+        world = build_world(config)
+        plan = world.dissenter.planted_core_plan
+        assert sum(len(g) for g in plan) == 42
+        assert len(plan) == 6
+        assert max(len(g) for g in plan) == 32
+        core_users = [u for u in world.dissenter.users if u.in_planted_core]
+        assert len(core_users) == 42
+        for user in core_users:
+            assert user.toxicity_mean >= 0.45
+            assert user.activity_weight >= 100

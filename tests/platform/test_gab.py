@@ -1,0 +1,74 @@
+"""Tests for the Gab account universe generator."""
+
+import numpy as np
+import pytest
+
+from repro.platform.config import WorldConfig
+from repro.platform.gab import SPECIAL_USERNAMES, build_gab_universe
+
+
+@pytest.fixture(scope="module")
+def universe():
+    config = WorldConfig(scale=0.005, seed=99)
+    return build_gab_universe(config, np.random.default_rng(99))
+
+
+class TestGabUniverse:
+    def test_population_size(self, universe):
+        config = WorldConfig(scale=0.005, seed=99)
+        assert len(universe.accounts) == config.n_gab_accounts
+
+    def test_ids_unique(self, universe):
+        ids = [a.gab_id for a in universe.accounts]
+        assert len(set(ids)) == len(ids)
+
+    def test_usernames_unique(self, universe):
+        names = [a.username for a in universe.accounts]
+        assert len(set(names)) == len(names)
+
+    def test_special_accounts_present(self, universe):
+        for gab_id, username, _display in SPECIAL_USERNAMES:
+            account = universe.by_id[gab_id]
+            assert account.username == username
+
+    def test_id_one_is_the_cto(self, universe):
+        assert universe.by_id[1].username == "e"
+
+    def test_founders_have_dissenter(self, universe):
+        assert universe.by_username["a"].has_dissenter
+        assert universe.by_username["shadowknight412"].has_dissenter
+
+    def test_mostly_monotone_with_planted_anomalies(self, universe):
+        """Fig. 2: IDs generally rise with creation time, except the
+        reserved blocks assigned late."""
+        ordered = sorted(universe.accounts, key=lambda a: a.created_at)
+        ids = np.asarray([a.gab_id for a in ordered])
+        anomalous = set(universe.anomalous_ids)
+        clean = np.asarray([i for i in ids if i not in anomalous])
+        # The non-anomalous sequence is strictly increasing.
+        assert (np.diff(clean) > 0).all()
+        # And anomalies do exist and sit far below the frontier.
+        assert anomalous
+        positions = [int(np.flatnonzero(ids == a)[0]) for a in list(anomalous)[:5]]
+        assert all(p > len(ids) * 0.5 for p in positions)
+
+    def test_dissenter_share_near_8_percent(self, universe):
+        share = sum(a.has_dissenter for a in universe.accounts) / len(
+            universe.accounts
+        )
+        assert 0.04 < share < 0.13
+
+    def test_some_deleted_accounts(self, universe):
+        assert any(a.is_deleted for a in universe.accounts)
+
+    def test_creation_times_within_window(self, universe):
+        config = WorldConfig(scale=0.005, seed=99)
+        for account in universe.accounts:
+            assert config.epoch_gab <= account.created_at <= config.crawl_time
+
+    def test_deterministic(self):
+        config = WorldConfig(scale=0.002, seed=5)
+        a = build_gab_universe(config, np.random.default_rng(5))
+        b = build_gab_universe(config, np.random.default_rng(5))
+        assert [x.username for x in a.accounts] == [x.username for x in b.accounts]
+        assert [x.gab_id for x in a.accounts] == [x.gab_id for x in b.accounts]

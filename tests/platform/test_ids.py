@@ -1,0 +1,83 @@
+"""Tests for the 12-byte object identifiers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.platform.ids import ObjectId, ObjectIdFactory
+
+
+class TestObjectId:
+    def test_paper_example(self):
+        # §2.2: "an account created on February 28, 2019 at 16:23:53 UTC,
+        # will have an author-id beginning with 5c780b19".
+        oid = ObjectId.from_parts(0x5C780B19, 0, 0)
+        assert oid.hex.startswith("5c780b19")
+        assert oid.timestamp == 1551371033
+
+    def test_round_trip(self):
+        oid = ObjectId.from_parts(1_600_000_000, 12345, 777)
+        assert oid.timestamp == 1_600_000_000
+        assert oid.machine == 12345
+        assert oid.counter == 777
+
+    def test_length_and_hex_enforced(self):
+        with pytest.raises(ValueError):
+            ObjectId("abc")
+        with pytest.raises(ValueError):
+            ObjectId("z" * 24)
+
+    def test_part_bounds(self):
+        with pytest.raises(ValueError):
+            ObjectId.from_parts(2**32, 0, 0)
+        with pytest.raises(ValueError):
+            ObjectId.from_parts(0, 2**40, 0)
+
+    def test_counter_wraps(self):
+        oid = ObjectId.from_parts(0, 0, 2**24 + 5)
+        assert oid.counter == 5
+
+    def test_ordering_follows_hex(self):
+        early = ObjectId.from_parts(100, 0, 0)
+        late = ObjectId.from_parts(200, 0, 0)
+        assert early < late
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**40 - 1),
+           st.integers(0, 2**24 - 1))
+    def test_property_round_trip(self, ts, machine, counter):
+        oid = ObjectId.from_parts(ts, machine, counter)
+        assert len(oid.hex) == 24
+        assert oid.timestamp == ts
+        assert oid.machine == machine
+        assert oid.counter == counter
+
+
+class TestObjectIdFactory:
+    def test_timestamp_encoded(self):
+        factory = ObjectIdFactory(seed=0)
+        oid = factory.mint(1_551_371_033.7)
+        assert oid.timestamp == 1_551_371_033
+
+    def test_counter_monotone(self):
+        factory = ObjectIdFactory(seed=0)
+        a = factory.mint(100)
+        b = factory.mint(100)
+        assert b.counter == (a.counter + 1) % 2**24
+
+    def test_same_machine_field(self):
+        factory = ObjectIdFactory(seed=1)
+        assert factory.mint(1).machine == factory.mint(2).machine
+
+    def test_deterministic_across_instances(self):
+        a = ObjectIdFactory(seed=7).mint(1000)
+        b = ObjectIdFactory(seed=7).mint(1000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ObjectIdFactory(seed=1).mint(1000)
+        b = ObjectIdFactory(seed=2).mint(1000)
+        assert a != b
+
+    def test_uniqueness_over_many_mints(self):
+        factory = ObjectIdFactory(seed=3)
+        minted = {factory.mint(42).hex for _ in range(10_000)}
+        assert len(minted) == 10_000

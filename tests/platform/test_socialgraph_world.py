@@ -1,0 +1,142 @@
+"""Tests for the follower graph generator and world assembly."""
+
+import numpy as np
+import pytest
+
+from repro.platform import WorldConfig, build_world
+from repro.platform.socialgraph import SocialGraph, build_social_graph
+
+
+class TestSocialGraphPrimitives:
+    def test_add_edge_and_degrees(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 2)
+        assert g.in_degree(2) == 2
+        assert g.out_degree(1) == 1
+        assert g.followers_of(2) == {1, 3}
+        assert g.following_of(1) == {2}
+
+    def test_self_follow_ignored(self):
+        g = SocialGraph()
+        g.add_edge(1, 1)
+        assert g.out_degree(1) == 0
+
+    def test_mutual(self):
+        g = SocialGraph()
+        g.add_mutual(1, 2)
+        assert g.is_mutual(1, 2)
+        assert not g.is_mutual(1, 3)
+
+
+class TestGeneratedGraph:
+    def test_isolated_fraction(self, medium_world):
+        graph = medium_world.social
+        dissenter_ids = [
+            u.gab_id for u in medium_world.dissenter.users
+        ]
+        isolated = sum(
+            1
+            for g in dissenter_ids
+            if graph.in_degree(g) == 0 and graph.out_degree(g) == 0
+        )
+        fraction = isolated / len(dissenter_ids)
+        assert 0.2 < fraction < 0.5   # paper: 15,702 / 45,524 ~ 34.5%
+
+    def test_heavy_tailed_out_degree(self, medium_world):
+        graph = medium_world.social
+        degrees = sorted(
+            (len(v) for v in graph.following.values()), reverse=True
+        )
+        assert degrees[0] > 10 * np.median([d for d in degrees if d > 0])
+
+    def test_non_dissenter_contamination(self, medium_world):
+        """Follow lists must include non-Dissenter Gab accounts, so the
+        analysis-side induced-subgraph filter has real work to do."""
+        dissenter_ids = {u.gab_id for u in medium_world.dissenter.users}
+        outside = 0
+        for targets in medium_world.social.following.values():
+            outside += sum(1 for t in targets if t not in dissenter_ids)
+        assert outside > 0
+
+    def test_planted_core_wired_mutually(self):
+        world = build_world(
+            WorldConfig(scale=0.01, seed=3, planted_core_size=42)
+        )
+        for group in world.dissenter.planted_core_plan:
+            if len(group) == 2:
+                assert world.social.is_mutual(group[0], group[1])
+            else:
+                # Spot-check: every member has a mutual edge inside the
+                # group.
+                members = set(group)
+                for member in group:
+                    partners = (
+                        world.social.following_of(member)
+                        & world.social.followers_of(member)
+                        & members
+                    )
+                    assert partners
+
+
+class TestWorldAssembly:
+    def test_summary_keys(self, small_world):
+        summary = small_world.summary()
+        assert set(summary) >= {
+            "gab_accounts", "dissenter_users", "active_users", "comments",
+            "urls", "youtube_items", "reddit_accounts",
+        }
+
+    def test_world_deterministic(self):
+        a = build_world(WorldConfig(scale=0.001, seed=77))
+        b = build_world(WorldConfig(scale=0.001, seed=77))
+        assert a.summary() == b.summary()
+        assert [c.comment_id.hex for c in a.dissenter.comments] == [
+            c.comment_id.hex for c in b.dissenter.comments
+        ]
+        assert [c.text for c in a.dissenter.comments[:50]] == [
+            c.text for c in b.dissenter.comments[:50]
+        ]
+
+    def test_different_seeds_differ(self):
+        a = build_world(WorldConfig(scale=0.001, seed=1))
+        b = build_world(WorldConfig(scale=0.001, seed=2))
+        assert [c.comment_id.hex for c in a.dissenter.comments[:10]] != [
+            c.comment_id.hex for c in b.dissenter.comments[:10]
+        ]
+
+    def test_dissenter_users_subset_of_gab(self, small_world):
+        gab_names = set(small_world.gab.by_username)
+        for user in small_world.dissenter.users:
+            assert user.username in gab_names
+
+    def test_reddit_accounts_subset_of_dissenter_usernames(self, small_world):
+        dissenter_names = {u.username for u in small_world.dissenter.users}
+        for username in small_world.reddit.accounts:
+            assert username in dissenter_names
+
+    def test_reddit_match_rate(self, medium_world):
+        rate = len(medium_world.reddit.accounts) / len(
+            medium_world.dissenter.users
+        )
+        assert 0.48 < rate < 0.64   # paper: 56%
+
+    def test_youtube_items_cover_youtube_urls(self, small_world):
+        youtube_urls = [
+            u.url for u in small_world.urls.urls if u.category == "youtube"
+        ]
+        for url in youtube_urls:
+            assert url in small_world.youtube.items
+
+    def test_news_corpora_have_profiles(self, small_world):
+        assert small_world.news.nytimes
+        assert small_world.news.dailymail
+        assert small_world.news.nominal_counts["dailymail"] > (
+            small_world.news.nominal_counts["nytimes"]
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorldConfig(scale=0)
+        with pytest.raises(ValueError):
+            WorldConfig(epoch_gab=10, epoch_dissenter=5)

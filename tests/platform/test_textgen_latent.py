@@ -1,0 +1,179 @@
+"""Tests for the text generator and the latent model."""
+
+import numpy as np
+import pytest
+
+from repro.platform.entities import CommentLatent, CommentUrl
+from repro.platform.ids import ObjectIdFactory
+from repro.platform.latent import (
+    DATASET_PROFILES,
+    sample_baseline_latent,
+    sample_comment_latent,
+    sample_nsfw_latent,
+    sample_offensive_latent,
+    sample_user_toxicity_mean,
+)
+from repro.platform.textgen import EMISSION, CommentTextGenerator
+
+
+def _latent(tox=0.1, obscene=0.1, attack=0.1, reject=0.1) -> CommentLatent:
+    return CommentLatent(toxicity=tox, obscene=obscene, attack=attack,
+                         reject=reject)
+
+
+def _url(bias="not-ranked", up=0, down=0, controversy=0.2) -> CommentUrl:
+    return CommentUrl(
+        commenturl_id=ObjectIdFactory(0).mint(1_560_000_000),
+        url="https://example.com/a",
+        title="t", description="d", category="news", bias=bias,
+        first_seen=1_560_000_000.0, upvotes=up, downvotes=down,
+        controversy=controversy,
+    )
+
+
+class TestTextGenerator:
+    def test_benign_latent_produces_clean_text(self):
+        gen = CommentTextGenerator(np.random.default_rng(0))
+        from repro.nlp.lexicons import hate_vocab
+        hate = set(hate_vocab())
+        texts = [gen.generate(_latent()) for _ in range(50)]
+        hate_hits = sum(
+            1 for t in texts for w in t.lower().split() if w in hate
+        )
+        total = sum(len(t.split()) for t in texts)
+        assert hate_hits / total < 0.02
+
+    def test_toxic_latent_emits_hate_terms(self):
+        gen = CommentTextGenerator(np.random.default_rng(1))
+        from repro.nlp.lexicons import hate_vocab
+        hate = set(hate_vocab())
+        toxic = _latent(tox=0.9, obscene=0.7, reject=0.8)
+        texts = [gen.generate(toxic) for _ in range(50)]
+        hate_hits = sum(
+            1 for t in texts for w in t.lower().split() if w.strip("!") in hate
+        )
+        total = sum(len(t.split()) for t in texts)
+        assert hate_hits / total > 0.10
+
+    def test_attack_latent_prepends_phrase(self):
+        gen = CommentTextGenerator(np.random.default_rng(2))
+        from repro.nlp.lexicons import ATTACK_PHRASES
+        text = gen.generate(_latent(attack=0.9))
+        assert any(p in text.lower() for p in ATTACK_PHRASES)
+
+    def test_reject_latent_appends_bang_run(self):
+        gen = CommentTextGenerator(np.random.default_rng(3))
+        mild = gen.generate(_latent(reject=0.5))
+        extreme = gen.generate(_latent(reject=0.99))
+        assert "!!!" not in mild
+        assert extreme.endswith("!" * 5)
+
+    def test_bang_run_graded_in_reject(self):
+        gen = CommentTextGenerator(np.random.default_rng(4))
+        low = gen.generate(_latent(reject=0.78))
+        high = gen.generate(_latent(reject=0.99))
+        assert low.count("!") < high.count("!")
+
+    def test_foreign_language_generation(self):
+        gen = CommentTextGenerator(np.random.default_rng(5))
+        german = gen.generate(_latent(), language="de")
+        from repro.nlp.langid import SEED_CORPORA
+        german_vocab = set(SEED_CORPORA["de"].split())
+        assert all(w in german_vocab for w in german.split())
+
+    def test_unknown_language_rejected(self):
+        gen = CommentTextGenerator(np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            gen.generate(_latent(), language="xx")
+
+    def test_bio_censorship_mention(self):
+        gen = CommentTextGenerator(np.random.default_rng(7))
+        assert "censorship" in gen.generate_bio(mentions_censorship=True)
+        assert "censorship" not in gen.generate_bio(mentions_censorship=False)
+
+    def test_emission_rates_monotone(self):
+        low = _latent(tox=0.4, obscene=0.2, reject=0.3)
+        high = _latent(tox=0.9, obscene=0.8, reject=0.9)
+        assert EMISSION.hate_rate(high) > EMISSION.hate_rate(low)
+        assert EMISSION.offensive_rate(high) > EMISSION.offensive_rate(low)
+        assert EMISSION.rude_rate(high) > EMISSION.rude_rate(low)
+
+    def test_no_hate_below_threshold(self):
+        assert EMISSION.hate_rate(_latent(tox=0.34)) == 0.0
+
+
+class TestLatentModel:
+    def test_latent_validation(self):
+        with pytest.raises(ValueError):
+            CommentLatent(toxicity=1.5, obscene=0, attack=0, reject=0)
+
+    def test_user_mixture_bounded(self):
+        rng = np.random.default_rng(0)
+        values = [sample_user_toxicity_mean(rng) for _ in range(2000)]
+        assert all(0 <= v <= 1 for v in values)
+        # Mixture has a visible high-toxicity tail.
+        assert np.mean(np.asarray(values) > 0.5) > 0.03
+
+    def test_offensive_latents_extreme(self):
+        rng = np.random.default_rng(1)
+        rejects = [sample_offensive_latent(rng).reject for _ in range(500)]
+        assert np.mean(np.asarray(rejects) > 0.95) > 0.7
+
+    def test_nsfw_latents_intermediate(self):
+        rng = np.random.default_rng(2)
+        nsfw_tox = np.mean([sample_nsfw_latent(rng).toxicity for _ in range(500)])
+        off_tox = np.mean(
+            [sample_offensive_latent(rng).toxicity for _ in range(500)]
+        )
+        assert 0.4 < nsfw_tox < off_tox
+
+    def test_negative_votes_raise_toxicity(self):
+        rng = np.random.default_rng(3)
+        neg = [
+            sample_comment_latent(rng, 0.2, _url(up=0, down=3)).toxicity
+            for _ in range(5000)
+        ]
+        pos = [
+            sample_comment_latent(rng, 0.2, _url(up=3, down=0)).toxicity
+            for _ in range(5000)
+        ]
+        assert np.mean(neg) > np.mean(pos)
+
+    def test_decisive_votes_damp_controversy(self):
+        rng = np.random.default_rng(4)
+        zero = [
+            sample_comment_latent(
+                rng, 0.2, _url(up=0, down=0, controversy=0.8)
+            ).toxicity
+            for _ in range(800)
+        ]
+        decisive = [
+            sample_comment_latent(
+                rng, 0.2, _url(up=9, down=0, controversy=0.8)
+            ).toxicity
+            for _ in range(800)
+        ]
+        assert np.mean(zero) > np.mean(decisive)
+
+    def test_left_bias_boosts_attack(self):
+        rng = np.random.default_rng(5)
+        left = [
+            sample_comment_latent(rng, 0.2, _url(bias="left")).attack
+            for _ in range(800)
+        ]
+        right = [
+            sample_comment_latent(rng, 0.2, _url(bias="right")).attack
+            for _ in range(800)
+        ]
+        assert np.mean(left) > np.mean(right) + 0.1
+
+    def test_baseline_profile_ordering(self):
+        rng = np.random.default_rng(6)
+        means = {}
+        for name in ("reddit", "dailymail", "nytimes"):
+            profile = DATASET_PROFILES[name]
+            means[name] = np.mean([
+                sample_baseline_latent(rng, profile).toxicity
+                for _ in range(1500)
+            ])
+        assert means["reddit"] > means["dailymail"] > means["nytimes"]

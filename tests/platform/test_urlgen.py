@@ -1,0 +1,96 @@
+"""Tests for the URL universe generator."""
+
+import numpy as np
+import pytest
+
+from repro.platform.config import WorldConfig
+from repro.platform.ids import ObjectIdFactory
+from repro.platform.textgen import CommentTextGenerator
+from repro.platform.urlgen import FRINGE_DOMAINS, build_url_universe
+
+
+@pytest.fixture(scope="module")
+def universe():
+    config = WorldConfig(scale=0.01, seed=21)
+    rng = np.random.default_rng(21)
+    return build_url_universe(
+        config, rng, ObjectIdFactory(21), CommentTextGenerator(rng)
+    )
+
+
+class TestUrlUniverse:
+    def test_population_at_least_configured(self, universe):
+        config = WorldConfig(scale=0.01, seed=21)
+        assert len(universe.urls) >= config.n_urls
+
+    def test_ids_unique(self, universe):
+        ids = [u.commenturl_id.hex for u in universe.urls]
+        assert len(set(ids)) == len(ids)
+
+    def test_https_dominates(self, universe):
+        https = sum(1 for u in universe.urls if u.url.startswith("https://"))
+        assert https / len(universe.urls) > 0.9
+
+    def test_file_and_browser_urls_exist(self, universe):
+        schemes = {u.url.split(":", 1)[0] for u in universe.urls}
+        assert "file" in schemes
+        assert "chrome" in schemes
+
+    def test_protocol_duplicates_planted(self, universe):
+        urls = {u.url for u in universe.urls}
+        dup_count = sum(
+            1
+            for u in urls
+            if u.startswith("http://") and "https://" + u[len("http://"):] in urls
+        )
+        assert dup_count >= universe.protocol_duplicate_pairs * 0.8
+
+    def test_trailing_slash_duplicates_planted(self, universe):
+        urls = {u.url for u in universe.urls}
+        dup_count = sum(1 for u in urls if u.endswith("/") and u[:-1] in urls)
+        assert dup_count >= universe.trailing_slash_duplicate_pairs
+
+    def test_youtube_urls_have_watch_paths(self, universe):
+        watch = [
+            u for u in universe.urls
+            if u.category == "youtube" and "youtube.com" in u.url
+        ]
+        assert watch
+        assert sum("/watch?v=" in u.url for u in watch) / len(watch) > 0.9
+
+    def test_fringe_domains_present_with_high_weight(self, universe):
+        by_domain = {}
+        for index, record in enumerate(universe.urls):
+            for domain, _lang in FRINGE_DOMAINS:
+                if domain in record.url:
+                    by_domain[domain] = universe.weights[index]
+        assert set(by_domain) == {d for d, _ in FRINGE_DOMAINS}
+        median_weight = float(np.median(universe.weights))
+        for weight in by_domain.values():
+            assert weight > 10 * median_weight
+
+    def test_german_fringe_language_hint(self, universe):
+        hinted = set(universe.language_hints.values())
+        assert "de" in hinted
+
+    def test_bias_only_on_news(self, universe):
+        for record in universe.urls:
+            if record.bias != "not-ranked":
+                assert record.category == "news"
+
+    def test_all_bias_categories_represented(self, universe):
+        seen = {u.bias for u in universe.urls}
+        assert seen >= {
+            "left", "left-center", "center", "right-center", "right",
+            "not-ranked",
+        }
+
+    def test_first_seen_matches_id_timestamp(self, universe):
+        for record in universe.urls[:200]:
+            assert record.first_seen == record.commenturl_id.timestamp
+
+    def test_votes_mostly_zero_and_in_band(self, universe):
+        nets = np.asarray([u.net_votes for u in universe.urls])
+        assert (nets == 0).mean() > 0.6
+        assert (np.abs(nets) < 10).mean() > 0.95
+        assert (nets > 0).sum() > (nets < 0).sum()

@@ -1,0 +1,150 @@
+"""Tests for repro.stats.distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.distributions import (
+    ECDF,
+    gini_coefficient,
+    lorenz_curve,
+    quantile,
+    summarize,
+    top_share,
+)
+
+
+class TestECDF:
+    def test_evaluates_known_points(self):
+        ecdf = ECDF([1.0, 2.0, 3.0, 4.0])
+        assert ecdf(0.5) == 0.0
+        assert ecdf(1.0) == 0.25
+        assert ecdf(2.5) == 0.5
+        assert ecdf(4.0) == 1.0
+        assert ecdf(100.0) == 1.0
+
+    def test_vector_evaluation_matches_scalar(self):
+        ecdf = ECDF([3, 1, 4, 1, 5])
+        xs = np.asarray([0.0, 1.0, 3.5, 10.0])
+        vector = ecdf(xs)
+        for x, v in zip(xs, vector):
+            assert v == pytest.approx(ecdf(float(x)))
+
+    def test_quantile_inverts_cdf(self):
+        ecdf = ECDF(range(1, 101))
+        assert ecdf.quantile(0.5) == 50
+        assert ecdf.quantile(0.01) == 1
+        assert ecdf.quantile(1.0) == 100
+
+    def test_quantile_bounds_checked(self):
+        ecdf = ECDF([1, 2, 3])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+        with pytest.raises(ValueError):
+            ecdf.quantile(-0.1)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF([1.0, float("nan")])
+
+    def test_survival_complements_cdf(self):
+        ecdf = ECDF([1, 2, 3, 4, 5])
+        assert ecdf.survival(3) == pytest.approx(1 - ecdf(3))
+
+    def test_steps_are_plot_ready(self):
+        ecdf = ECDF([2, 1, 3])
+        xs, ys = ecdf.steps()
+        assert list(xs) == [1, 2, 3]
+        assert list(ys) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_monotone_and_bounded(self, samples):
+        ecdf = ECDF(samples)
+        grid = np.linspace(min(samples) - 1, max(samples) + 1, 50)
+        values = np.asarray(ecdf(grid))
+        assert (np.diff(values) >= 0).all()
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=100),
+           st.floats(0.01, 1.0))
+    def test_quantile_consistent_with_cdf(self, samples, q):
+        ecdf = ECDF(samples)
+        x = ecdf.quantile(q)
+        assert ecdf(x) >= q - 1e-12
+
+
+class TestLorenzGini:
+    def test_equal_distribution_gini_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=0.2)
+
+    def test_total_concentration_gini_high(self):
+        values = [0] * 99 + [100]
+        assert gini_coefficient(values) > 0.9
+
+    def test_lorenz_endpoints(self):
+        pop, mass = lorenz_curve([1, 2, 3])
+        assert pop[0] == 0.0 and mass[0] == 0.0
+        assert pop[-1] == 1.0 and mass[-1] == pytest.approx(1.0)
+
+    def test_lorenz_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([1, -2, 3])
+
+    def test_all_zero_sample_gives_equality_line(self):
+        pop, mass = lorenz_curve([0, 0, 0])
+        assert mass == pytest.approx(pop)
+
+    @given(st.lists(st.floats(0, 1e5), min_size=2, max_size=100))
+    def test_lorenz_below_diagonal(self, values):
+        pop, mass = lorenz_curve(values)
+        assert (mass <= pop + 1e-9).all()
+
+    @given(st.lists(st.floats(0.01, 1e5), min_size=2, max_size=100))
+    def test_gini_in_unit_interval(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g <= 1.0
+
+
+class TestTopShare:
+    def test_known_concentration(self):
+        # One user holds 90 of 100 units.
+        values = [90] + [1] * 10
+        assert top_share(values, 1 / 11) == pytest.approx(0.9)
+
+    def test_full_population_is_total(self):
+        assert top_share([1, 2, 3], 1.0) == pytest.approx(1.0)
+
+    def test_zero_total(self):
+        assert top_share([0, 0], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_share([1, 2], 0.0)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=100),
+           st.floats(0.05, 1.0))
+    def test_monotone_in_fraction(self, values, fraction):
+        smaller = top_share(values, fraction / 2)
+        larger = top_share(values, fraction)
+        assert larger >= smaller - 1e-12
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.n == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.median == pytest.approx(3.0)
+        assert s.minimum == 1 and s.maximum == 5
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_quantile_helper(self):
+        assert quantile([1, 2, 3, 4], 0.5) == 2

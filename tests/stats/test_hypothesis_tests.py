@@ -1,0 +1,97 @@
+"""Tests for the two-sample KS implementation (cross-checked vs SciPy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.hypothesis_tests import ks_two_sample, pairwise_ks
+
+
+class TestKSTwoSample:
+    def test_identical_samples_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=300)
+        result = ks_two_sample(a, a)
+        assert result.statistic == pytest.approx(0.0)
+        assert not result.significant()
+
+    def test_shifted_distributions_detected(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 500)
+        b = rng.normal(1.0, 1, 500)
+        result = ks_two_sample(a, b)
+        assert result.significant(0.01)
+
+    def test_statistic_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        a = rng.exponential(size=137)
+        b = rng.normal(size=211)
+        ours = ks_two_sample(a, b)
+        theirs = scipy_stats.ks_2samp(a, b)
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-12)
+
+    def test_pvalue_close_to_scipy_asymptotic(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 400)
+        b = rng.normal(0.15, 1, 400)
+        ours = ks_two_sample(a, b)
+        theirs = scipy_stats.ks_2samp(a, b, method="asymp")
+        assert ours.pvalue == pytest.approx(theirs.pvalue, abs=0.02)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+    def test_sample_sizes_recorded(self):
+        result = ks_two_sample([1, 2, 3], [4, 5])
+        assert (result.n1, result.n2) == (3, 2)
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=5, max_size=60),
+        st.lists(st.floats(-100, 100), min_size=5, max_size=60),
+    )
+    def test_statistic_bounds_and_symmetry(self, a, b):
+        forward = ks_two_sample(a, b)
+        backward = ks_two_sample(b, a)
+        assert 0.0 <= forward.statistic <= 1.0
+        assert forward.statistic == pytest.approx(backward.statistic)
+        assert forward.pvalue == pytest.approx(backward.pvalue)
+
+
+class TestPairwiseKS:
+    def test_all_pairs_present(self):
+        groups = {"a": [1, 2, 3], "b": [2, 3, 4], "c": [9, 10, 11]}
+        results = pairwise_ks(groups)
+        assert set(results) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_small_groups_skipped(self):
+        groups = {"a": [1, 2, 3], "tiny": [1]}
+        assert pairwise_ks(groups) == {}
+
+
+class TestRankCorrelation:
+    def test_perfect_monotone(self):
+        from repro.stats.hypothesis_tests import rank_correlation
+        assert rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_nonlinear_monotone_still_one(self):
+        from repro.stats.hypothesis_tests import rank_correlation
+        xs = list(range(1, 50))
+        ys = [x ** 3 for x in xs]
+        assert rank_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        from repro.stats.hypothesis_tests import rank_correlation
+        rng = np.random.default_rng(0)
+        rho = rank_correlation(rng.random(2000), rng.random(2000))
+        assert abs(rho) < 0.1
+
+    def test_validation(self):
+        from repro.stats.hypothesis_tests import rank_correlation
+        with pytest.raises(ValueError):
+            rank_correlation([1], [1])
+        with pytest.raises(ValueError):
+            rank_correlation([1, 2], [1, 2, 3])

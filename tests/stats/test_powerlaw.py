@@ -1,0 +1,68 @@
+"""Tests for discrete power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.stats.powerlaw import fit_discrete_powerlaw
+
+
+def _sample_powerlaw(alpha: float, xmin: int, n: int, seed: int) -> np.ndarray:
+    """Exact discrete power-law sampler (inverse CDF over a finite support).
+
+    The support is truncated at 10^6, far past any mass these exponents
+    carry.
+    """
+    rng = np.random.default_rng(seed)
+    support = np.arange(xmin, 1_000_000, dtype=float)
+    pmf = support ** (-alpha)
+    pmf /= pmf.sum()
+    cdf = np.cumsum(pmf)
+    u = rng.random(n)
+    return support[np.searchsorted(cdf, u)].astype(int)
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self):
+        data = _sample_powerlaw(alpha=2.5, xmin=1, n=20_000, seed=0)
+        fit = fit_discrete_powerlaw(data.tolist(), xmin=1)
+        assert fit.alpha == pytest.approx(2.5, abs=0.1)
+
+    def test_recovers_steeper_exponent(self):
+        data = _sample_powerlaw(alpha=3.2, xmin=2, n=20_000, seed=1)
+        fit = fit_discrete_powerlaw(data.tolist(), xmin=2)
+        assert fit.alpha == pytest.approx(3.2, abs=0.15)
+
+    def test_xmin_scan_prefers_true_cutoff(self):
+        # Power law only above 5; uniform noise below.
+        rng = np.random.default_rng(2)
+        tail = _sample_powerlaw(alpha=2.4, xmin=5, n=5_000, seed=3)
+        noise = rng.integers(1, 5, size=2_000)
+        fit = fit_discrete_powerlaw(np.concatenate([tail, noise]).tolist())
+        assert fit.xmin >= 3
+
+    def test_zeros_dropped(self):
+        data = [0] * 50 + _sample_powerlaw(2.5, 1, 1000, 4).tolist()
+        fit = fit_discrete_powerlaw(data)
+        assert fit.n_tail <= 1000
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_discrete_powerlaw([1, 2, 3])
+
+    def test_ks_distance_small_for_true_powerlaw(self):
+        data = _sample_powerlaw(alpha=2.2, xmin=1, n=50_000, seed=5)
+        fit = fit_discrete_powerlaw(data.tolist(), xmin=1)
+        assert fit.ks_distance < 0.02
+
+    def test_pmf_normalises(self):
+        data = _sample_powerlaw(alpha=2.5, xmin=1, n=5_000, seed=6)
+        fit = fit_discrete_powerlaw(data.tolist(), xmin=1)
+        support = np.arange(fit.xmin, 100_000)
+        assert fit.pmf(support).sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone(self):
+        data = _sample_powerlaw(alpha=2.5, xmin=1, n=5_000, seed=7)
+        fit = fit_discrete_powerlaw(data.tolist(), xmin=1)
+        values = [fit.cdf(x) for x in range(1, 30)]
+        assert values == sorted(values)
+        assert fit.cdf(0) == 0.0

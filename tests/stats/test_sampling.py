@@ -1,0 +1,87 @@
+"""Tests for seeded sampling utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.sampling import bootstrap_ci, reservoir_sample, stratified_indices
+
+
+class TestReservoirSample:
+    def test_returns_k_items(self):
+        sample = reservoir_sample(range(1000), 10, seed=0)
+        assert len(sample) == 10
+        assert all(0 <= x < 1000 for x in sample)
+
+    def test_short_stream_returned_whole(self):
+        assert sorted(reservoir_sample([1, 2, 3], 10, seed=0)) == [1, 2, 3]
+
+    def test_deterministic_for_seed(self):
+        a = reservoir_sample(range(500), 20, seed=7)
+        b = reservoir_sample(range(500), 20, seed=7)
+        assert a == b
+
+    def test_roughly_uniform(self):
+        hits = np.zeros(100)
+        for seed in range(400):
+            for item in reservoir_sample(range(100), 10, seed=seed):
+                hits[item] += 1
+        # Each item expected 40 times; no item should be wildly off.
+        assert hits.min() > 10
+        assert hits.max() < 90
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            reservoir_sample([1], 0)
+
+
+class TestStratifiedIndices:
+    def test_partitions_all_indices(self):
+        labels = [0] * 10 + [1] * 20 + [2] * 5
+        folds = stratified_indices(labels, 5, seed=0)
+        combined = sorted(i for fold in folds for i in fold)
+        assert combined == list(range(35))
+
+    def test_label_balance_per_fold(self):
+        labels = np.asarray([0] * 50 + [1] * 100)
+        folds = stratified_indices(labels, 5, seed=1)
+        for fold in folds:
+            fold_labels = labels[fold]
+            assert (fold_labels == 0).sum() == 10
+            assert (fold_labels == 1).sum() == 20
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            stratified_indices([0, 1], 5)
+
+    def test_min_folds(self):
+        with pytest.raises(ValueError):
+            stratified_indices([0, 1, 2], 1)
+
+    @given(st.lists(st.integers(0, 3), min_size=10, max_size=80),
+           st.integers(2, 5))
+    def test_property_disjoint_cover(self, labels, n_folds):
+        folds = stratified_indices(labels, n_folds, seed=0)
+        flat = [i for fold in folds for i in fold]
+        assert sorted(flat) == list(range(len(labels)))
+        assert len(set(flat)) == len(flat)
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, 500)
+        lo, hi = bootstrap_ci(data, np.mean, n_resamples=500, seed=1)
+        assert lo < 10.0 < hi
+
+    def test_ci_ordering(self):
+        lo, hi = bootstrap_ci([1, 2, 3, 4, 5], np.median, seed=2)
+        assert lo <= hi
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1, 2], np.mean, confidence=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], np.mean)

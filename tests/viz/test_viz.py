@@ -1,0 +1,102 @@
+"""Tests for the SVG/ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import ascii_cdf, ascii_scatter
+from repro.viz.figures import render_all_figures
+from repro.viz.svg import SvgPlot
+
+
+class TestSvgPlot:
+    def test_line_plot_renders(self):
+        plot = SvgPlot(title="T", x_label="x", y_label="y")
+        plot.line([0, 1, 2], [0, 1, 4], label="series")
+        svg = plot.render()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "polyline" in svg
+        assert ">T<" in svg and ">x<" in svg and ">y<" in svg
+        assert ">series<" in svg
+
+    def test_scatter_renders_circles(self):
+        plot = SvgPlot()
+        plot.scatter([1, 2, 3], [3, 2, 1])
+        assert plot.render().count("<circle") == 3
+
+    def test_log_axes_drop_nonpositive(self):
+        plot = SvgPlot(x_log=True, y_log=True)
+        plot.scatter([0, 1, 10, 100], [0, 1, 10, 100])
+        svg = plot.render()
+        assert svg.count("<circle") == 3   # the (0, 0) point is dropped
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            SvgPlot().render()
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            SvgPlot().line([1, 2], [1])
+
+    def test_distinct_default_colors(self):
+        plot = SvgPlot()
+        plot.line([0, 1], [0, 1], label="a")
+        plot.line([0, 1], [1, 0], label="b")
+        svg = plot.render()
+        assert "#0072b2" in svg and "#d55e00" in svg
+
+    def test_save(self, tmp_path):
+        plot = SvgPlot()
+        plot.line([0, 1], [0, 1])
+        path = tmp_path / "chart.svg"
+        plot.save(path)
+        assert path.read_text().startswith("<svg")
+
+    def test_constant_series_does_not_crash(self):
+        plot = SvgPlot()
+        plot.line([1, 1, 1], [2, 2, 2])
+        assert "<polyline" in plot.render()
+
+
+class TestAsciiCharts:
+    def test_cdf_shape(self):
+        rng = np.random.default_rng(0)
+        text = ascii_cdf({"a": rng.random(100), "b": rng.random(100) * 0.5})
+        assert "1.0 |" in text and "0.0 +" in text
+        assert "* a (n=100)" in text
+        assert "o b (n=100)" in text
+
+    def test_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_scatter_contains_points(self):
+        text = ascii_scatter([1, 2, 3], [1, 4, 9], x_label="x", y_label="y")
+        assert "*" in text
+        assert "x: x   y: y" in text
+
+    def test_scatter_log_scale(self):
+        text = ascii_scatter([1, 10, 100], [1, 2, 3], log_x=True)
+        assert "10^" in text
+
+    def test_scatter_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1], [1, 2])
+        with pytest.raises(ValueError):
+            ascii_scatter([-1, -2], [1, 2], log_x=True)
+
+
+class TestFigureRendering:
+    def test_all_figures_render(self, pipeline_report, tmp_path):
+        written = render_all_figures(pipeline_report, tmp_path)
+        assert len(written) >= 11
+        for path in written:
+            content = path.read_text()
+            assert content.startswith("<svg")
+            assert "Figure" in content
+
+    def test_figure_names_cover_the_paper(self, pipeline_report, tmp_path):
+        written = {p.name for p in render_all_figures(pipeline_report, tmp_path)}
+        for fragment in ("fig2", "fig3", "fig4", "fig5", "fig7a", "fig7b",
+                         "fig7c", "fig8b", "fig9a", "fig9b", "fig9c"):
+            assert any(name.startswith(fragment) for name in written), fragment
