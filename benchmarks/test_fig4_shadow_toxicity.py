@@ -10,11 +10,10 @@ from benchmarks._report import record, row
 from repro.core.shadow import FIG4_ATTRIBUTES, analyze_shadow_toxicity
 
 
-def test_fig4_shadow_toxicity(benchmark, bench_report, bench_pipeline):
+def test_fig4_shadow_toxicity(benchmark, bench_report, bench_store):
     corpus = bench_report.corpus
-    models = bench_pipeline.models
     shadow = benchmark.pedantic(
-        lambda: analyze_shadow_toxicity(corpus, models),
+        lambda: analyze_shadow_toxicity(corpus, bench_store),
         rounds=1, iterations=1,
     )
 

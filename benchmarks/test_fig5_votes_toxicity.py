@@ -12,11 +12,10 @@ from benchmarks._report import record, row
 from repro.core.votes import analyze_votes
 
 
-def test_fig5_votes_toxicity(benchmark, bench_report, bench_pipeline):
+def test_fig5_votes_toxicity(benchmark, bench_report, bench_store):
     corpus = bench_report.corpus
-    models = bench_pipeline.models
     votes = benchmark.pedantic(
-        lambda: analyze_votes(corpus, models), rounds=1, iterations=1
+        lambda: analyze_votes(corpus, bench_store), rounds=1, iterations=1
     )
 
     zero_mean = votes.bucket_means.get(0, float("nan"))

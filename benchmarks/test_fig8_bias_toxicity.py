@@ -13,11 +13,10 @@ from benchmarks._report import record, row
 from repro.core.bias import BIAS_CATEGORIES, analyze_bias
 
 
-def test_fig8_bias_toxicity(benchmark, bench_report, bench_pipeline):
+def test_fig8_bias_toxicity(benchmark, bench_report, bench_store):
     corpus = bench_report.corpus
-    models = bench_pipeline.models
     bias = benchmark.pedantic(
-        lambda: analyze_bias(corpus, models), rounds=1, iterations=1
+        lambda: analyze_bias(corpus, bench_store), rounds=1, iterations=1
     )
 
     lines = []

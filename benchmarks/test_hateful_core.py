@@ -6,34 +6,22 @@ Regenerates the paper's mutual-follower / >=100 comments / median toxicity
 """
 
 from benchmarks._report import record, row
-from repro.core.socialnet import extract_hateful_core
+from repro.core.socialnet import (
+    extract_hateful_core,
+    per_user_activity_toxicity,
+)
 
 
 def test_hateful_core(benchmark, core_report, core_pipeline):
-    import numpy as np
-
-    # Rebuild the inputs the pipeline used, then re-time the extraction.
+    # Rebuild the inputs the pipeline used (from its pre-populated score
+    # store), then re-time the extraction.
     corpus = core_report.corpus
-    by_author = corpus.comments_by_author()
-    author_by_username = {
-        u.username: u.author_id for u in corpus.users.values()
-    }
     gab_ids = {
         a.username: a.gab_id for a in core_report.gab_enumeration.accounts
     }
-    counts, tox = {}, {}
-    models = core_pipeline.models
-    for username, gab_id in gab_ids.items():
-        author = author_by_username.get(username)
-        if author is None:
-            continue
-        comments = by_author.get(author, [])
-        counts[gab_id] = len(comments)
-        if comments:
-            tox[gab_id] = float(np.median([
-                models.score(c.text)["SEVERE_TOXICITY"]
-                for c in comments[:200]
-            ]))
+    counts, tox = per_user_activity_toxicity(
+        corpus, gab_ids, core_pipeline.store
+    )
 
     # The graph lives in the already-computed report.
     core = core_report.hateful_core

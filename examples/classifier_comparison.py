@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.scoring import ScoreStore
 from repro.nlp import (
     CommentClassifier,
     HateDictionary,
     build_davidson_style_corpus,
 )
-from repro.perspective import PerspectiveModels
 from repro.platform import WorldConfig, build_world
 
 
@@ -43,13 +43,11 @@ def main() -> None:
     world = build_world(WorldConfig(scale=0.004, seed=1))
     comments = [c.text for c in world.dissenter.comments[:2500]]
     dictionary = HateDictionary()
-    models = PerspectiveModels()
+    store = ScoreStore(dictionary=dictionary)
 
-    dict_scores = dictionary.score_many(comments)
-    perspective = np.asarray(
-        [models.score(t)["SEVERE_TOXICITY"] for t in comments]
-    )
-    svm = np.asarray([1.0 - p.neither for p in trained.predict_proba(comments)])
+    dict_scores = store.dictionary_ratios(comments)
+    perspective = store.attribute_values(comments, "SEVERE_TOXICITY")
+    svm = store.svm_not_neither(comments, trained)
 
     def rank_corr(a, b):
         ra, rb = np.argsort(np.argsort(a)), np.argsort(np.argsort(b))
@@ -68,7 +66,7 @@ def main() -> None:
         "I am travelling to zekistan next month",
     ):
         score = dictionary.score(text)
-        p = models.score(text)["SEVERE_TOXICITY"]
+        p = store.value(text, "SEVERE_TOXICITY")
         print(f"  {text!r}")
         print(f"    dictionary ratio {score.ratio:.2f} "
               f"(matches: {list(score.matches)}) vs Perspective {p:.2f}")

@@ -15,6 +15,7 @@ from __future__ import annotations
 import sys
 
 from repro.core import ReproductionPipeline
+from repro.core.report import render_stage_timings
 from repro.platform import WorldConfig
 
 
@@ -121,6 +122,9 @@ def main() -> None:
     show("shadow sample verified", "100/100",
          f"{report.validation.shadow_verified}/"
          f"{report.validation.shadow_sample_size}")
+
+    print("\n=== Pipeline stages (crawl -> score -> analyze) ===")
+    print("  " + render_stage_timings(report).replace("\n", "\n  "))
 
 
 if __name__ == "__main__":

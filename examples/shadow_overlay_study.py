@@ -18,13 +18,13 @@ Reproduces §3.2/§4.3.1's differential-crawl methodology step by step:
 
 from __future__ import annotations
 
+from repro.core.scoring import ScoreStore
 from repro.core.shadow import FIG4_ATTRIBUTES, analyze_shadow_toxicity
 from repro.crawler import DissenterCrawler, GabEnumerator, ShadowCrawler
 from repro.crawler.validation import CrawlValidator
 from repro.net import HttpClient
 from repro.platform import WorldConfig, build_world
 from repro.platform.apps import build_origins
-from repro.perspective import PerspectiveModels
 
 
 def main() -> None:
@@ -58,8 +58,9 @@ def main() -> None:
           f"{verification.shadow_sample_size} correctly labelled")
 
     print("\nPerspective scoring (Figure 4)...")
-    models = PerspectiveModels()
-    analysis = analyze_shadow_toxicity(corpus, models)
+    store = ScoreStore()
+    analysis = analyze_shadow_toxicity(corpus, store)
+    print(f"  unique texts scored: {store.counters.unique_texts:,}")
     header = f"  {'attribute':<20s} {'all>0.95':>9s} {'nsfw>0.95':>10s} {'off>0.95':>9s}"
     print(header)
     for attribute in FIG4_ATTRIBUTES:

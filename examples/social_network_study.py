@@ -13,10 +13,11 @@ extracts the hateful core with the paper's three-part criterion (§4.5.1).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import ReproductionPipeline
-from repro.core.socialnet import extract_hateful_core
+from repro.core.socialnet import (
+    extract_hateful_core,
+    per_user_activity_toxicity,
+)
 from repro.platform import WorldConfig
 
 
@@ -63,24 +64,13 @@ def main() -> None:
     print(f"component sizes:   {core.component_sizes}")
 
     print("\n--- criterion sensitivity (ablation) ---")
-    # Rebuild per-user metrics and sweep the thresholds.
+    # Rebuild per-user metrics (from the pipeline's pre-populated score
+    # store — nothing is re-scored) and sweep the thresholds.
     corpus = report.corpus
-    by_author = corpus.comments_by_author()
-    author_by_username = {u.username: u.author_id for u in corpus.users.values()}
     gab_ids = {a.username: a.gab_id for a in report.gab_enumeration.accounts}
-    counts, toxicity = {}, {}
-    for username, gab_id in gab_ids.items():
-        author = author_by_username.get(username)
-        if author is None:
-            continue
-        comments = by_author.get(author, [])
-        counts[gab_id] = len(comments)
-        if comments:
-            toxicity[gab_id] = float(np.median([
-                pipeline.models.score(c.text)["SEVERE_TOXICITY"]
-                for c in comments[:200]
-            ]))
-    graph = core.subgraph.to_directed()
+    counts, toxicity = per_user_activity_toxicity(
+        corpus, gab_ids, pipeline.store
+    )
     # Use the full crawled graph for the sweep.
     full_graph, _, _ = pipeline.crawl_social(corpus, report.gab_enumeration)
     for min_comments, min_tox in ((50, 0.3), (100, 0.3), (100, 0.5), (200, 0.3)):

@@ -19,7 +19,7 @@ import sys
 from pathlib import Path
 
 from repro.core.pipeline import ReproductionPipeline
-from repro.core.report import render_full_report
+from repro.core.report import render_full_report, render_stage_timings
 from repro.crawler.checkpoint import dump_result
 from repro.nlp.dictionary import HateDictionary
 from repro.perspective.models import PerspectiveModels
@@ -44,6 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=42, help="world seed")
     run.add_argument("--core", action="store_true",
                      help="plant the 42-user hateful core")
+    run.add_argument("--workers", type=int, default=0,
+                     help="scoring-pass worker threads (0 = serial; "
+                          "results are identical at any worker count)")
     run.add_argument("--checkpoint", type=Path, default=None,
                      help="write the crawl corpus to this JSON file")
     run.add_argument("--report", type=Path, default=None,
@@ -65,6 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--seed", type=int, default=42)
     figures.add_argument("--out", type=Path, default=Path("figures"),
                          help="output directory for the SVG files")
+    figures.add_argument("--workers", type=int, default=0,
+                         help="scoring-pass worker threads (0 = serial)")
     return parser
 
 
@@ -78,11 +83,12 @@ def _config(args: argparse.Namespace) -> WorldConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    pipeline = ReproductionPipeline(_config(args))
+    pipeline = ReproductionPipeline(_config(args), workers=args.workers)
     print(f"world: {pipeline.world.summary()}", file=sys.stderr)
     report = pipeline.run()
     text = render_full_report(report)
     print(text)
+    print(render_stage_timings(report), file=sys.stderr)
     if args.checkpoint is not None:
         dump_result(report.corpus, args.checkpoint)
         print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
@@ -127,7 +133,7 @@ def _cmd_score(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.viz.figures import render_all_figures
 
-    pipeline = ReproductionPipeline(_config(args))
+    pipeline = ReproductionPipeline(_config(args), workers=args.workers)
     report = pipeline.run()
     written = render_all_figures(report, args.out)
     for path in written:

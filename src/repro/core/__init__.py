@@ -17,7 +17,9 @@ Module                    Paper artefact
 :mod:`relative`           Table 3, Fig. 6 (comment ratios), Fig. 7 (CDFs)
 :mod:`bias`               Fig. 8 (scores by Allsides bias + KS tests)
 :mod:`socialnet`          Fig. 9 (degrees, toxicity), §4.5 hateful core
-:mod:`pipeline`           end-to-end orchestration of crawl + analyses
+:mod:`scoring`            single-pass memoising score store (all analyses
+                          read classifier scores through it)
+:mod:`pipeline`           end-to-end orchestration: crawl -> score -> analyze
 ========================  =====================================================
 """
 
@@ -39,8 +41,13 @@ from repro.core.macro import (
     compute_headlines,
     user_table,
 )
-from repro.core.pipeline import ReproductionPipeline, ReproductionReport
+from repro.core.pipeline import (
+    CrawlArtifacts,
+    ReproductionPipeline,
+    ReproductionReport,
+)
 from repro.core.report import render_full_report
+from repro.core.scoring import ScoreStore, ScoreStoreCounters
 from repro.core.relative import (
     BaselineOverview,
     CommentRatioAnalysis,
@@ -56,6 +63,7 @@ from repro.core.socialnet import (
     SocialNetworkAnalysis,
     analyze_social_network,
     extract_hateful_core,
+    per_user_activity_toxicity,
 )
 from repro.core.urls import UrlTableStats, analyze_urls
 from repro.core.votes import VoteToxicity, analyze_votes
@@ -66,6 +74,7 @@ __all__ = [
     "BiasAnalysis",
     "CovertAnchor",
     "CovertChannelAnalysis",
+    "CrawlArtifacts",
     "DefenseOutcome",
     "CommentConcentration",
     "CommentRatioAnalysis",
@@ -76,6 +85,8 @@ __all__ = [
     "RelativeToxicity",
     "ReproductionPipeline",
     "ReproductionReport",
+    "ScoreStore",
+    "ScoreStoreCounters",
     "ShadowToxicity",
     "ThreadStructure",
     "SocialNetworkAnalysis",
@@ -98,6 +109,7 @@ __all__ = [
     "compute_headlines",
     "extract_hateful_core",
     "find_covert_channels",
+    "per_user_activity_toxicity",
     "relative_toxicity",
     "render_full_report",
     "simulate_preemptive_defense",

@@ -14,9 +14,9 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.crawler.records import CrawlResult
+from repro.core.scoring import ScoreStore
 from repro.core.urls import second_level_domain
-from repro.perspective.models import PerspectiveModels
+from repro.crawler.records import CrawlResult
 from repro.platform.urlgen import ALLSIDES_BIAS
 from repro.stats.hypothesis_tests import KSResult, pairwise_ks
 
@@ -64,12 +64,12 @@ class BiasAnalysis:
 
 def analyze_bias(
     result: CrawlResult,
-    models: PerspectiveModels | None = None,
+    store: ScoreStore | None = None,
     bias_table: Mapping[str, str] | None = None,
     max_per_bias: int = 10_000,
 ) -> BiasAnalysis:
     """Group comment scores by the bias of the commented URL."""
-    models = models or PerspectiveModels()
+    store = store or ScoreStore()
     url_bias = {
         record.commenturl_id: bias_of_url(record.url, bias_table)
         for record in result.urls.values()
@@ -83,7 +83,7 @@ def analyze_bias(
         counts[bias] += 1
         if len(tox[bias]) >= max_per_bias:
             continue
-        scores = models.score(comment.text)
+        scores = store.score(comment.text)
         tox[bias].append(scores["SEVERE_TOXICITY"])
         atk[bias].append(scores["ATTACK_ON_AUTHOR"])
 

@@ -18,8 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.scoring import ScoreStore
 from repro.crawler.records import CrawlResult
-from repro.perspective.models import PerspectiveModels
 
 __all__ = ["DefenseOutcome", "simulate_preemptive_defense"]
 
@@ -64,7 +64,7 @@ def simulate_preemptive_defense(
     result: CrawlResult,
     target_urls: list[str] | None = None,
     flood_factor: float = 1.0,
-    models: PerspectiveModels | None = None,
+    store: ScoreStore | None = None,
     seed: int = 0,
 ) -> DefenseOutcome:
     """Simulate the §6 defense on a crawled corpus.
@@ -75,7 +75,8 @@ def simulate_preemptive_defense(
             at least one comment.
         flood_factor: owner comments injected per existing comment
             (1.0 doubles the thread).
-        models: shared Perspective models.
+        store: shared score store (ideally pre-populated by the
+            pipeline's scoring pass).
         seed: RNG seed for the owner-comment rotation and thread order.
 
     Returns:
@@ -83,16 +84,16 @@ def simulate_preemptive_defense(
     """
     if flood_factor < 0:
         raise ValueError("flood_factor must be non-negative")
-    models = models or PerspectiveModels()
+    store = store or ScoreStore()
     rng = np.random.default_rng(seed)
     by_url = result.comments_by_url()
     targets = target_urls if target_urls is not None else [
         url_id for url_id, comments in by_url.items() if comments
     ]
 
-    owner_scores = [
-        models.score(text)["SEVERE_TOXICITY"] for text in _OWNER_COMMENTS
-    ]
+    owner_scores = store.attribute_values(
+        _OWNER_COMMENTS, "SEVERE_TOXICITY"
+    ).tolist()
 
     before_means, after_means = [], []
     before_medians, after_medians = [], []
@@ -103,9 +104,9 @@ def simulate_preemptive_defense(
         comments = by_url.get(url_id, [])
         if not comments:
             continue
-        scores = np.asarray([
-            models.score(c.text)["SEVERE_TOXICITY"] for c in comments
-        ])
+        scores = store.attribute_values(
+            [c.text for c in comments], "SEVERE_TOXICITY"
+        )
         n_injected = int(round(flood_factor * len(comments)))
         injected_total += n_injected
         injected = np.asarray([

@@ -4,10 +4,26 @@ One object that does what the paper did: build (or accept) a world, stand
 up its HTTP origins, run the §3 crawl stack, then compute every §4
 analysis.  Used by the examples, the integration tests, and the
 benchmarks that need the full corpus.
+
+The full run is three explicit stages, mirroring the paper's own
+crawl-once / score-once / analyze-many structure:
+
+1. :meth:`ReproductionPipeline.stage_crawl` — every §3 collection stage,
+   bundled into a :class:`CrawlArtifacts`.
+2. :meth:`ReproductionPipeline.stage_score` — ONE scoring pass over the
+   corpus and baselines into the shared :class:`~repro.core.scoring.
+   ScoreStore`; each unique text is scored exactly once (optionally on a
+   worker pool).
+3. :meth:`ReproductionPipeline.stage_analyze` — every §4 analysis, all
+   reading from the store.
+
+:meth:`ReproductionPipeline.run` chains the stages and records per-stage
+wall time plus the store's hit/miss counters on the report.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.bias import BiasAnalysis, analyze_bias
@@ -30,12 +46,14 @@ from repro.core.relative import (
     comment_ratios,
     relative_toxicity,
 )
+from repro.core.scoring import ScoreStore
 from repro.core.shadow import ShadowToxicity, analyze_shadow_toxicity
 from repro.core.socialnet import (
     HatefulCore,
     SocialNetworkAnalysis,
     analyze_social_network,
     extract_hateful_core,
+    per_user_activity_toxicity,
 )
 from repro.core.urls import UrlTableStats, analyze_urls
 from repro.core.votes import VoteToxicity, analyze_votes
@@ -61,9 +79,35 @@ from repro.platform.apps import Origins, build_origins
 from repro.platform.config import WorldConfig
 from repro.platform.world import World, build_world
 
-import numpy as np
+__all__ = [
+    "CrawlArtifacts",
+    "ReproductionPipeline",
+    "ReproductionReport",
+]
 
-__all__ = ["ReproductionPipeline", "ReproductionReport"]
+
+@dataclass
+class CrawlArtifacts:
+    """Everything the §3 collection stages produced.
+
+    The scoring and analysis stages consume this; nothing in it has been
+    scored yet.
+    """
+
+    gab_enumeration: GabEnumerationResult
+    corpus: CrawlResult
+    shadow_crawler: ShadowCrawler
+    validation: ValidationReport
+    youtube_crawl: YouTubeCrawlResult
+    reddit_match: RedditMatchResult
+    graph: object                      # induced Dissenter follow graph
+    active_ids: list[int]
+    gab_ids: dict[str, int]            # username -> Gab ID
+    baseline_texts: dict[str, list[str]]
+
+    def corpus_texts(self) -> list[str]:
+        """Every crawled comment text, in corpus order."""
+        return [c.text for c in self.corpus.comments.values()]
 
 
 @dataclass
@@ -96,14 +140,26 @@ class ReproductionReport:
 
     extras: dict[str, object] = field(default_factory=dict)
 
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Wall time per pipeline stage (crawl / score / analyze)."""
+        return self.extras.get("stage_seconds", {})
+
+    @property
+    def scoring_counters(self) -> dict[str, int]:
+        """The score store's hit/miss/batch counters after the run."""
+        return self.extras.get("scoring", {})
+
 
 class ReproductionPipeline:
-    """Runs crawl + analyses against a world's HTTP origins.
+    """Runs crawl + scoring + analyses against a world's HTTP origins.
 
     Args:
         config: world configuration (ignored when ``world`` is given).
         world: pre-built world to reuse (worlds are expensive).
         with_faults: inject transport faults to exercise retry paths.
+        workers: thread-pool size for the scoring pass (0 = serial);
+            results are bit-identical regardless of worker count.
     """
 
     def __init__(
@@ -111,6 +167,7 @@ class ReproductionPipeline:
         config: WorldConfig | None = None,
         world: World | None = None,
         with_faults: bool = False,
+        workers: int = 0,
     ):
         self.world = world or build_world(config)
         self.origins: Origins = build_origins(
@@ -118,6 +175,7 @@ class ReproductionPipeline:
         )
         self.client = HttpClient(self.origins.transport)
         self.models = PerspectiveModels()
+        self.store = ScoreStore(self.models, workers=workers)
 
     # ------------------------------------------------------------------
     # Crawl stages (each usable on its own).
@@ -178,11 +236,11 @@ class ReproductionPipeline:
         return matcher.match(sorted(corpus.users))
 
     # ------------------------------------------------------------------
-    # Full run.
+    # Pipeline stages.
     # ------------------------------------------------------------------
 
-    def run(self) -> ReproductionReport:
-        """Execute every crawl stage and every analysis."""
+    def stage_crawl(self) -> CrawlArtifacts:
+        """Stage 1: every §3 collection stage; nothing is scored yet."""
         world = self.world
         gab_enum = self.enumerate_gab()
         corpus, _crawler = self.crawl_dissenter(gab_enum.usernames())
@@ -191,27 +249,6 @@ class ReproductionPipeline:
         youtube_crawl = self.crawl_youtube(corpus)
         graph, active_ids, gab_ids = self.crawl_social(corpus, gab_enum)
         reddit_match = self.match_reddit(corpus)
-
-        # Per-user toxicity and activity (for Figs. 9b/9c and the core).
-        by_author = corpus.comments_by_author()
-        author_by_username = {
-            u.username: u.author_id for u in corpus.users.values()
-        }
-        comment_counts: dict[int, float] = {}
-        median_toxicity: dict[int, float] = {}
-        for username, gab_id in gab_ids.items():
-            author_id = author_by_username.get(username)
-            if author_id is None:
-                continue
-            comments = by_author.get(author_id, [])
-            comment_counts[gab_id] = len(comments)
-            if comments:
-                scores = [
-                    self.models.score(c.text)["SEVERE_TOXICITY"]
-                    for c in comments[:200]
-                ]
-                median_toxicity[gab_id] = float(np.median(scores))
-
         baseline_texts = {
             "reddit": [
                 text
@@ -221,14 +258,47 @@ class ReproductionPipeline:
             "nytimes": [c.text for c in world.news.nytimes],
             "dailymail": [c.text for c in world.news.dailymail],
         }
-
-        report = ReproductionReport(
+        return CrawlArtifacts(
             gab_enumeration=gab_enum,
             corpus=corpus,
+            shadow_crawler=shadow_crawler,
             validation=validation,
             youtube_crawl=youtube_crawl,
             reddit_match=reddit_match,
-            growth=analyze_gab_growth(gab_enum.accounts),
+            graph=graph,
+            active_ids=active_ids,
+            gab_ids=gab_ids,
+            baseline_texts=baseline_texts,
+        )
+
+    def stage_score(
+        self, artifacts: CrawlArtifacts, workers: int | None = None
+    ) -> ScoreStore:
+        """Stage 2: the single scoring pass over corpus + baselines.
+
+        After this stage the store holds scores for every text any
+        analysis will request; the analyses only read from the cache.
+        """
+        texts = artifacts.corpus_texts()
+        for baseline in artifacts.baseline_texts.values():
+            texts.extend(baseline)
+        self.store.score_many(texts, workers=workers)
+        return self.store
+
+    def stage_analyze(self, artifacts: CrawlArtifacts) -> ReproductionReport:
+        """Stage 3: every §4 analysis, reading scores from the store."""
+        world = self.world
+        corpus = artifacts.corpus
+        comment_counts, median_toxicity = per_user_activity_toxicity(
+            corpus, artifacts.gab_ids, self.store
+        )
+        report = ReproductionReport(
+            gab_enumeration=artifacts.gab_enumeration,
+            corpus=corpus,
+            validation=artifacts.validation,
+            youtube_crawl=artifacts.youtube_crawl,
+            reddit_match=artifacts.reddit_match,
+            growth=analyze_gab_growth(artifacts.gab_enumeration.accounts),
             concentration=comment_concentration(corpus),
             user_flags=user_table(corpus),
             headlines=compute_headlines(
@@ -236,29 +306,50 @@ class ReproductionPipeline:
             ),
             url_table=analyze_urls(corpus),
             languages=analyze_languages(corpus),
-            youtube=analyze_youtube(youtube_crawl, corpus),
-            shadow=analyze_shadow_toxicity(corpus, self.models),
-            votes=analyze_votes(corpus, self.models),
+            youtube=analyze_youtube(artifacts.youtube_crawl, corpus),
+            shadow=analyze_shadow_toxicity(corpus, self.store),
+            votes=analyze_votes(corpus, self.store),
             baselines=baseline_overview(
-                reddit_match,
+                artifacts.reddit_match,
                 nytimes_count=world.news.nominal_counts["nytimes"],
                 dailymail_count=world.news.nominal_counts["dailymail"],
             ),
             ratios=(
-                comment_ratios(corpus, reddit_match)
-                if reddit_match.matched_usernames
+                comment_ratios(corpus, artifacts.reddit_match)
+                if artifacts.reddit_match.matched_usernames
                 else None
             ),
             relative=relative_toxicity(
-                [c.text for c in corpus.comments.values()],
-                baseline_texts,
-                self.models,
+                artifacts.corpus_texts(),
+                artifacts.baseline_texts,
+                self.store,
             ),
-            bias=analyze_bias(corpus, self.models),
-            social=analyze_social_network(graph, median_toxicity),
+            bias=analyze_bias(corpus, self.store),
+            social=analyze_social_network(artifacts.graph, median_toxicity),
             hateful_core=extract_hateful_core(
-                graph, comment_counts, median_toxicity
+                artifacts.graph, comment_counts, median_toxicity
             ),
         )
-        report.extras["active_gab_ids"] = active_ids
+        report.extras["active_gab_ids"] = artifacts.active_ids
+        return report
+
+    # ------------------------------------------------------------------
+    # Full run.
+    # ------------------------------------------------------------------
+
+    def run(self) -> ReproductionReport:
+        """Execute crawl -> scoring pass -> analyses, with stage timings."""
+        t0 = time.perf_counter()
+        artifacts = self.stage_crawl()
+        t1 = time.perf_counter()
+        self.stage_score(artifacts)
+        t2 = time.perf_counter()
+        report = self.stage_analyze(artifacts)
+        t3 = time.perf_counter()
+        report.extras["stage_seconds"] = {
+            "crawl": t1 - t0,
+            "score": t2 - t1,
+            "analyze": t3 - t2,
+        }
+        report.extras["scoring"] = self.store.counters.as_dict()
         return report

@@ -18,9 +18,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.scoring import ScoreStore
 from repro.crawler.records import CrawlResult
 from repro.crawler.reddit_crawl import RedditMatchResult
-from repro.perspective.models import PerspectiveModels
 from repro.stats.distributions import ECDF
 
 __all__ = [
@@ -146,7 +146,7 @@ class RelativeToxicity:
 def relative_toxicity(
     dissenter_texts: Sequence[str],
     baseline_texts: Mapping[str, Sequence[str]],
-    models: PerspectiveModels | None = None,
+    store: ScoreStore | None = None,
     max_sample: int = 20_000,
 ) -> RelativeToxicity:
     """Score all corpora on the Fig. 7 attributes.
@@ -154,10 +154,11 @@ def relative_toxicity(
     Args:
         dissenter_texts: the crawled Dissenter comments.
         baseline_texts: {"reddit"|"nytimes"|"dailymail": texts}.
-        models: shared Perspective models.
+        store: shared score store (ideally pre-populated by the
+            pipeline's scoring pass).
         max_sample: per-dataset cap (deterministic prefix).
     """
-    models = models or PerspectiveModels()
+    store = store or ScoreStore()
     corpora: dict[str, Sequence[str]] = {
         "dissenter": list(dissenter_texts)[:max_sample]
     }
@@ -165,9 +166,12 @@ def relative_toxicity(
         corpora[name] = list(texts)[:max_sample]
 
     analysis = RelativeToxicity()
+    rows_by_corpus = {
+        name: store.score_many(texts) for name, texts in corpora.items()
+    }
     for attribute in FIG7_ATTRIBUTES:
         analysis.scores[attribute] = {
-            name: np.asarray([models.score(t)[attribute] for t in texts])
-            for name, texts in corpora.items()
+            name: np.asarray([row[attribute] for row in rows])
+            for name, rows in rows_by_corpus.items()
         }
     return analysis

@@ -15,6 +15,7 @@ __all__ = [
     "render_figures_summary",
     "render_full_report",
     "render_headlines",
+    "render_stage_timings",
     "render_table1",
     "render_table2",
     "render_table3",
@@ -150,6 +151,26 @@ def render_figures_summary(report: ReproductionReport) -> str:
          f" / {report.hateful_core.giant_size}"),
     ]
     return _table("Figures — numeric summary", ("artefact", "measured"), rows)
+
+
+def render_stage_timings(report: ReproductionReport) -> str:
+    """Pipeline observability: per-stage wall time + scoring counters."""
+    seconds = report.stage_seconds
+    counters = report.scoring_counters
+    if not seconds:
+        return "stage timings: (not recorded)"
+    total = sum(seconds.values())
+    timing = "  ".join(
+        f"{stage}={value:.2f}s" for stage, value in seconds.items()
+    )
+    line = f"stage timings: {timing}  total={total:.2f}s"
+    if counters:
+        line += (
+            f"\nscoring: {counters.get('misses', 0):,} unique texts scored, "
+            f"{counters.get('hits', 0):,} cache hits, "
+            f"{counters.get('batches', 0):,} batches"
+        )
+    return line
 
 
 def render_full_report(report: ReproductionReport) -> str:

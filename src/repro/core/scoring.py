@@ -1,0 +1,212 @@
+"""Single-pass scoring layer: the :class:`ScoreStore`.
+
+The paper scores each of its 1.68M comments with three classifiers
+exactly once and reuses those scores across every §4 analysis.  The
+``ScoreStore`` is that separation as a component: a memoising, batch-
+oriented layer over the Perspective models (plus the dictionary and SVM
+channels used by the A2 ablation) that guarantees each unique text is
+scored at most once per process, no matter how many analyses ask for it.
+
+Contracts:
+
+* ``score(text)`` returns the *cached dict itself* — the same object on
+  every call for the same text.  Callers must treat it as read-only.
+* ``score_many(texts)`` dedupes the batch, scores only the texts the
+  store has never seen, and returns results in input order.  With
+  ``workers > 1`` the missing texts are scored on a
+  :mod:`concurrent.futures` thread pool; because the underlying scorers
+  are pure functions of the text, results are bit-identical regardless
+  of worker count.
+* ``counters`` exposes hit/miss/batch accounting so callers (and the
+  integration tests) can assert the exactly-once property.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.perspective.models import PerspectiveModels
+
+__all__ = ["ScoreStore", "ScoreStoreCounters"]
+
+
+@dataclass
+class ScoreStoreCounters:
+    """Hit/miss/batch accounting for every scoring channel."""
+
+    hits: int = 0                 # Perspective lookups served from cache
+    misses: int = 0               # Perspective texts actually scored
+    batches: int = 0              # score_many() calls
+    dictionary_hits: int = 0
+    dictionary_misses: int = 0
+    svm_hits: int = 0
+    svm_misses: int = 0
+
+    @property
+    def unique_texts(self) -> int:
+        """Distinct texts the Perspective channel has scored."""
+        return self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "batches": self.batches,
+            "dictionary_hits": self.dictionary_hits,
+            "dictionary_misses": self.dictionary_misses,
+            "svm_hits": self.svm_hits,
+            "svm_misses": self.svm_misses,
+        }
+
+
+def _ordered_missing(texts: Sequence[str], cache: Mapping[str, object]) -> list[str]:
+    """Unique texts absent from ``cache``, in first-seen order."""
+    return [text for text in dict.fromkeys(texts) if text not in cache]
+
+
+class ScoreStore:
+    """Memoising, batch-oriented scoring layer for the measurement stack.
+
+    Args:
+        models: shared Perspective models (fresh ones when omitted).
+        dictionary: hate dictionary for :meth:`dictionary_ratios`
+            (built lazily when omitted).
+        workers: default thread-pool size for :meth:`score_many`;
+            ``0``/``1`` scores serially.
+    """
+
+    def __init__(
+        self,
+        models: PerspectiveModels | None = None,
+        dictionary: object | None = None,
+        workers: int = 0,
+    ):
+        self._models = models or PerspectiveModels()
+        self._dictionary = dictionary
+        self.workers = int(workers)
+        self._scores: dict[str, dict[str, float]] = {}
+        self._dict_ratios: dict[str, float] = {}
+        self._svm_scores: dict[str, float] = {}
+        self._svm_ref: object | None = None
+        self.counters = ScoreStoreCounters()
+
+    @property
+    def models(self) -> PerspectiveModels:
+        return self._models
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._scores
+
+    # ------------------------------------------------------------------
+    # Perspective channel.
+    # ------------------------------------------------------------------
+
+    def score(self, text: str) -> dict[str, float]:
+        """All-attribute scores for one text (the cached dict itself)."""
+        cached = self._scores.get(text)
+        if cached is not None:
+            self.counters.hits += 1
+            return cached
+        self.counters.misses += 1
+        scores = self._models.score(text)
+        self._scores[text] = scores
+        return scores
+
+    def score_many(
+        self, texts: Iterable[str], workers: int | None = None
+    ) -> list[dict[str, float]]:
+        """Scores for a batch, in input order; each unique text scored once.
+
+        Args:
+            texts: the batch (duplicates allowed).
+            workers: thread-pool size for the texts not yet cached;
+                defaults to the store's ``workers``.
+        """
+        batch = list(texts)
+        pool_size = self.workers if workers is None else int(workers)
+        missing = _ordered_missing(batch, self._scores)
+        self.counters.batches += 1
+        self.counters.hits += len(batch) - len(missing)
+        self.counters.misses += len(missing)
+        if missing:
+            if pool_size > 1:
+                with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                    computed = list(pool.map(self._models.score, missing))
+            else:
+                computed = self._models.score_many(missing)
+            for text, scores in zip(missing, computed):
+                self._scores[text] = scores
+        return [self._scores[text] for text in batch]
+
+    def value(self, text: str, attribute: str) -> float:
+        """One attribute's score for one text."""
+        return self.score(text)[attribute]
+
+    def attribute_values(
+        self,
+        texts: Iterable[str],
+        attribute: str,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """One attribute's scores over a batch, as a float array."""
+        rows = self.score_many(texts, workers=workers)
+        return np.asarray([row[attribute] for row in rows], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Dictionary channel (A2 ablation).
+    # ------------------------------------------------------------------
+
+    def _ensure_dictionary(self):
+        if self._dictionary is None:
+            from repro.nlp.dictionary import HateDictionary
+
+            self._dictionary = HateDictionary()
+        return self._dictionary
+
+    def dictionary_ratios(self, texts: Iterable[str]) -> np.ndarray:
+        """Hate-dictionary hit ratios over a batch (cached per text)."""
+        batch = list(texts)
+        missing = _ordered_missing(batch, self._dict_ratios)
+        self.counters.dictionary_hits += len(batch) - len(missing)
+        self.counters.dictionary_misses += len(missing)
+        if missing:
+            ratios = self._ensure_dictionary().score_many(missing)
+            for text, ratio in zip(missing, ratios):
+                self._dict_ratios[text] = float(ratio)
+        return np.asarray(
+            [self._dict_ratios[text] for text in batch], dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # SVM channel (A2 ablation).
+    # ------------------------------------------------------------------
+
+    def svm_not_neither(
+        self, texts: Iterable[str], classifier: object
+    ) -> np.ndarray:
+        """``1 - P(neither)`` per text under a trained 3-class classifier.
+
+        The cache is keyed to the classifier instance: scoring with a
+        different trained classifier resets the channel.
+        """
+        if classifier is not self._svm_ref:
+            self._svm_ref = classifier
+            self._svm_scores = {}
+        batch = list(texts)
+        missing = _ordered_missing(batch, self._svm_scores)
+        self.counters.svm_hits += len(batch) - len(missing)
+        self.counters.svm_misses += len(missing)
+        if missing:
+            probs = classifier.predict_proba(missing)
+            for text, prob in zip(missing, probs):
+                self._svm_scores[text] = 1.0 - prob.neither
+        return np.asarray(
+            [self._svm_scores[text] for text in batch], dtype=float
+        )

@@ -12,8 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.scoring import ScoreStore
 from repro.crawler.records import CrawlResult
-from repro.perspective.models import PerspectiveModels
 from repro.stats.distributions import ECDF
 
 __all__ = ["ShadowToxicity", "analyze_shadow_toxicity"]
@@ -45,18 +45,19 @@ class ShadowToxicity:
 
 def analyze_shadow_toxicity(
     result: CrawlResult,
-    models: PerspectiveModels | None = None,
+    store: ScoreStore | None = None,
     max_all_sample: int = 20_000,
 ) -> ShadowToxicity:
     """Score the three comment classes on the Fig. 4 attributes.
 
     Args:
         result: crawl corpus with shadow labels applied.
-        models: shared Perspective models.
+        store: shared score store (ideally pre-populated by the
+            pipeline's scoring pass).
         max_all_sample: cap on the "all comments" class (deterministic
             prefix sample) to bound scoring cost at large scales.
     """
-    models = models or PerspectiveModels()
+    store = store or ScoreStore()
     nsfw = [
         c.text for c in result.comments.values() if c.shadow_label == "nsfw"
     ]
@@ -68,14 +69,14 @@ def analyze_shadow_toxicity(
     everything = [c.text for c in result.comments.values()][:max_all_sample]
 
     analysis = ShadowToxicity()
+    by_class = {
+        "all": store.score_many(everything),
+        "nsfw": store.score_many(nsfw),
+        "offensive": store.score_many(offensive),
+    }
     for attribute in FIG4_ATTRIBUTES:
         analysis.scores[attribute] = {
-            "all": np.asarray(
-                [models.score(t)[attribute] for t in everything]
-            ),
-            "nsfw": np.asarray([models.score(t)[attribute] for t in nsfw]),
-            "offensive": np.asarray(
-                [models.score(t)[attribute] for t in offensive]
-            ),
+            cls: np.asarray([row[attribute] for row in rows])
+            for cls, rows in by_class.items()
         }
     return analysis

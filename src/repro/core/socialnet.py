@@ -20,6 +20,8 @@ from typing import Mapping
 import networkx as nx
 import numpy as np
 
+from repro.core.scoring import ScoreStore
+from repro.crawler.records import CrawlResult
 from repro.stats.powerlaw import PowerLawFit, fit_discrete_powerlaw
 
 __all__ = [
@@ -27,7 +29,50 @@ __all__ = [
     "SocialNetworkAnalysis",
     "analyze_social_network",
     "extract_hateful_core",
+    "per_user_activity_toxicity",
 ]
+
+
+def per_user_activity_toxicity(
+    result: CrawlResult,
+    gab_ids: Mapping[str, int],
+    store: ScoreStore | None = None,
+    max_comments_per_user: int = 200,
+) -> tuple[dict[int, int], dict[int, float]]:
+    """Per-user comment counts and median toxicity (Figs. 9b/9c, §4.5.1).
+
+    Args:
+        result: crawl corpus.
+        gab_ids: username -> Gab ID (from the enumeration crawl).
+        store: shared score store (ideally pre-populated by the
+            pipeline's scoring pass).
+        max_comments_per_user: per-user cap on the comments entering the
+            median (deterministic prefix) to bound cost at large scales.
+
+    Returns:
+        ``(comment_counts, median_toxicity)`` keyed by Gab ID; users with
+        no comments are absent from ``median_toxicity``.
+    """
+    store = store or ScoreStore()
+    by_author = result.comments_by_author()
+    author_by_username = {
+        u.username: u.author_id for u in result.users.values()
+    }
+    comment_counts: dict[int, int] = {}
+    median_toxicity: dict[int, float] = {}
+    for username, gab_id in gab_ids.items():
+        author_id = author_by_username.get(username)
+        if author_id is None:
+            continue
+        comments = by_author.get(author_id, [])
+        comment_counts[gab_id] = len(comments)
+        if comments:
+            scores = store.attribute_values(
+                [c.text for c in comments[:max_comments_per_user]],
+                "SEVERE_TOXICITY",
+            )
+            median_toxicity[gab_id] = float(np.median(scores))
+    return comment_counts, median_toxicity
 
 
 @dataclass

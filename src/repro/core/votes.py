@@ -12,8 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.scoring import ScoreStore
 from repro.crawler.records import CrawlResult
-from repro.perspective.models import PerspectiveModels
 
 __all__ = ["VoteToxicity", "analyze_votes"]
 
@@ -43,11 +43,11 @@ class VoteToxicity:
 
 def analyze_votes(
     result: CrawlResult,
-    models: PerspectiveModels | None = None,
+    store: ScoreStore | None = None,
     max_comments_per_url: int = 50,
 ) -> VoteToxicity:
     """Pair every URL's net vote score with its comment toxicity."""
-    models = models or PerspectiveModels()
+    store = store or ScoreStore()
     by_url = result.comments_by_url()
 
     nets: list[int] = []
@@ -57,10 +57,10 @@ def analyze_votes(
         comments = by_url.get(record.commenturl_id, [])
         if not comments:
             continue
-        scores = np.asarray([
-            models.score(c.text)["SEVERE_TOXICITY"]
-            for c in comments[:max_comments_per_url]
-        ])
+        scores = store.attribute_values(
+            [c.text for c in comments[:max_comments_per_url]],
+            "SEVERE_TOXICITY",
+        )
         nets.append(record.net_votes)
         means.append(float(scores.mean()))
         medians.append(float(np.median(scores)))

@@ -26,6 +26,7 @@ class CrawlFrontier(Generic[T]):
     def __init__(self, items: Iterable[T] = (), max_retries: int = 3):
         self._queue: deque[T] = deque()
         self._seen: set[T] = set()
+        self._pending: set[T] = set()   # currently enqueued (not yet popped)
         self._failures: dict[T, int] = {}
         self._max_retries = max_retries
         self.completed = 0
@@ -43,6 +44,7 @@ class CrawlFrontier(Generic[T]):
         if item in self._seen:
             return False
         self._seen.add(item)
+        self._pending.add(item)
         self._queue.append(item)
         return True
 
@@ -57,18 +59,32 @@ class CrawlFrontier(Generic[T]):
             IndexError: the frontier is empty.
         """
         item = self._queue.popleft()
+        self._pending.discard(item)
         self.completed += 1
         return item
 
     def fail(self, item: T) -> bool:
         """Record a failure; re-enqueue unless the retry budget is spent.
 
+        Only an item that was actually popped (and not yet re-enqueued)
+        may fail; anything else would corrupt the ``completed`` count and
+        the retry loop's FIFO expectations.
+
         Returns True if the item was re-enqueued.
+
+        Raises:
+            ValueError: the item was never popped (unknown to the
+                frontier, or still waiting in the queue).
         """
+        if item not in self._seen or item in self._pending:
+            raise ValueError(
+                f"fail() on an item that was never popped: {item!r}"
+            )
         count = self._failures.get(item, 0) + 1
         self._failures[item] = count
         if count > self._max_retries:
             return False
+        self._pending.add(item)
         self._queue.append(item)
         self.completed -= 1   # it will be popped again
         return True

@@ -185,8 +185,23 @@ class PerspectiveModels:
     def score_many(
         self, texts: Iterable[str]
     ) -> list[dict[str, float]]:
-        """Scores for a batch of comments."""
-        return [self.score(text) for text in texts]
+        """Scores for a batch of comments, in input order.
+
+        The batch is deduplicated first, so each unique text is scored
+        at most once even when the cache is cold or full; every returned
+        row is an independent dict.
+        """
+        computed: dict[str, dict[str, float]] = {}
+        rows: list[dict[str, float]] = []
+        for text in texts:
+            scores = computed.get(text)
+            if scores is None:
+                scores = self.score(text)
+                computed[text] = scores
+                rows.append(scores)
+            else:
+                rows.append(dict(scores))
+        return rows
 
     def attribute_values(
         self, texts: Iterable[str], attribute: str

@@ -5,8 +5,8 @@ import pytest
 
 from repro.core.covert import find_covert_channels
 from repro.core.defense import simulate_preemptive_defense
+from repro.core.scoring import ScoreStore
 from repro.crawler.records import CrawlResult, CrawledComment, CrawledUrl
-from repro.perspective.models import PerspectiveModels
 
 
 def _corpus() -> CrawlResult:
@@ -118,9 +118,9 @@ class TestPreemptiveDefense:
 
     def test_first_screen_effect(self):
         corpus = _corpus()
-        models = PerspectiveModels()
+        store = ScoreStore()
         outcome = simulate_preemptive_defense(
-            corpus, flood_factor=3.0, models=models
+            corpus, flood_factor=3.0, store=store
         )
         assert outcome.top_slot_toxic_after <= outcome.top_slot_toxic_before
 

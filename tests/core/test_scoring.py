@@ -1,0 +1,194 @@
+"""Tests for the single-pass scoring layer (ScoreStore) and the staged
+pipeline built around it."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ReproductionPipeline
+from repro.core.scoring import ScoreStore
+from repro.nlp.dictionary import HateDictionary
+from repro.perspective.models import ATTRIBUTES, score_comment
+from repro.platform import WorldConfig
+
+TEXTS = [
+    "the article was interesting and important",
+    "you pathetic disgusting morons are all trash",
+    "worthless braindead garbage everywhere",
+    "meet at the usual place",
+    "I DEMAND ANSWERS RIGHT NOW!!!",
+    "thanks for reading the article we hope it was interesting",
+    "this piece is part of our continuing coverage of the issue",
+    "the queen visited a pig farm today",
+]
+
+
+class _StubClassifier:
+    """predict_proba stand-in for the SVM channel (counts invocations)."""
+
+    class _Probs:
+        def __init__(self, neither: float):
+            self.neither = neither
+
+    def __init__(self):
+        self.calls = 0
+
+    def predict_proba(self, texts):
+        self.calls += 1
+        return [self._Probs(1.0 / (1 + len(t))) for t in texts]
+
+
+class TestScoreStoreCache:
+    def test_same_text_returns_same_dict_object(self):
+        store = ScoreStore()
+        first = store.score(TEXTS[0])
+        assert store.score(TEXTS[0]) is first
+        assert store.score_many([TEXTS[0], TEXTS[1]])[0] is first
+
+    def test_scores_match_pure_function(self):
+        store = ScoreStore()
+        for text in TEXTS:
+            assert store.score(text) == score_comment(text)
+        assert set(store.score(TEXTS[0])) == set(ATTRIBUTES)
+
+    def test_hit_miss_counter_accuracy(self):
+        store = ScoreStore()
+        store.score_many([TEXTS[0], TEXTS[1], TEXTS[0]])
+        assert store.counters.misses == 2
+        assert store.counters.hits == 1
+        assert store.counters.batches == 1
+        store.score(TEXTS[0])
+        store.score(TEXTS[2])
+        assert store.counters.hits == 2
+        assert store.counters.misses == 3
+        assert store.counters.unique_texts == 3
+        assert len(store) == 3
+        assert TEXTS[2] in store and TEXTS[3] not in store
+
+    def test_underlying_models_score_each_text_once(self):
+        store = ScoreStore()
+        store.score_many(TEXTS * 3)
+        store.score_many(TEXTS)
+        assert store.models.calls == len(TEXTS)
+
+    def test_value_and_attribute_values(self):
+        store = ScoreStore()
+        values = store.attribute_values(TEXTS, "SEVERE_TOXICITY")
+        assert values.shape == (len(TEXTS),)
+        assert values[1] == store.value(TEXTS[1], "SEVERE_TOXICITY")
+        with pytest.raises(KeyError):
+            store.attribute_values(TEXTS, "NO_SUCH_ATTRIBUTE")
+
+
+class TestScoreStoreParallel:
+    @pytest.mark.parametrize("workers", [0, 2, 8])
+    def test_parallel_equals_serial(self, workers):
+        batch = TEXTS * 5 + [f"{t} again" for t in TEXTS]
+        serial = ScoreStore(workers=0).score_many(batch)
+        pooled = ScoreStore(workers=workers).score_many(batch)
+        assert serial == pooled   # bit-identical floats, same order
+
+    def test_per_call_worker_override(self):
+        store = ScoreStore(workers=0)
+        rows = store.score_many(TEXTS, workers=4)
+        assert rows == [score_comment(t) for t in TEXTS]
+        assert store.counters.misses == len(TEXTS)
+
+
+class TestScoreStoreChannels:
+    def test_dictionary_ratios_cached(self):
+        store = ScoreStore()
+        batch = [TEXTS[0], TEXTS[7], TEXTS[0]]
+        ratios = store.dictionary_ratios(batch)
+        expected = HateDictionary().score_many(batch)
+        assert np.array_equal(ratios, expected)
+        assert store.counters.dictionary_misses == 2
+        assert store.counters.dictionary_hits == 1
+        store.dictionary_ratios(batch)
+        assert store.counters.dictionary_misses == 2
+        assert store.counters.dictionary_hits == 4
+
+    def test_svm_channel_cached_per_classifier(self):
+        store = ScoreStore()
+        clf = _StubClassifier()
+        first = store.svm_not_neither(TEXTS, clf)
+        again = store.svm_not_neither(TEXTS, clf)
+        assert np.array_equal(first, again)
+        assert clf.calls == 1   # second batch fully served from cache
+        assert store.counters.svm_misses == len(TEXTS)
+        assert store.counters.svm_hits == len(TEXTS)
+        other = _StubClassifier()
+        store.svm_not_neither(TEXTS, other)
+        assert other.calls == 1   # new classifier, channel reset
+
+
+@pytest.fixture(scope="module")
+def staged_pipeline():
+    """A tiny pipeline run stage by stage (serial scoring)."""
+    pipeline = ReproductionPipeline(WorldConfig(scale=0.001, seed=3))
+    artifacts = pipeline.stage_crawl()
+    pipeline.stage_score(artifacts)
+    misses_after_score = pipeline.store.counters.misses
+    report = pipeline.stage_analyze(artifacts)
+    return pipeline, artifacts, report, misses_after_score
+
+
+@pytest.fixture(scope="module")
+def parallel_report():
+    """The same world, full run, scoring on 4 workers."""
+    pipeline = ReproductionPipeline(
+        WorldConfig(scale=0.001, seed=3), workers=4
+    )
+    return pipeline.run()
+
+
+class TestSinglePassPipeline:
+    def test_scoring_pass_scores_each_unique_text_exactly_once(
+        self, staged_pipeline
+    ):
+        pipeline, artifacts, _report, misses_after_score = staged_pipeline
+        unique = set(artifacts.corpus_texts())
+        for texts in artifacts.baseline_texts.values():
+            unique.update(texts)
+        assert misses_after_score == len(unique)
+        assert pipeline.models.calls == misses_after_score
+
+    def test_analyses_only_read_from_the_store(self, staged_pipeline):
+        pipeline, _artifacts, _report, misses_after_score = staged_pipeline
+        # Every text any analysis needed was covered by the scoring pass.
+        assert pipeline.store.counters.misses == misses_after_score
+        assert pipeline.store.counters.hits > 0
+
+    def test_parallel_run_reproduces_serial_figures(
+        self, staged_pipeline, parallel_report
+    ):
+        _pipeline, _artifacts, serial, _misses = staged_pipeline
+        parallel = parallel_report
+        for attribute, by_class in serial.shadow.scores.items():
+            for cls, scores in by_class.items():
+                assert np.array_equal(
+                    scores, parallel.shadow.scores[attribute][cls]
+                ), (attribute, cls)
+        for attribute, by_dataset in serial.relative.scores.items():
+            for name, scores in by_dataset.items():
+                assert np.array_equal(
+                    scores, parallel.relative.scores[attribute][name]
+                ), (attribute, name)
+        assert serial.votes.bucket_means == parallel.votes.bucket_means
+        assert serial.votes.bucket_medians == parallel.votes.bucket_medians
+        for category, scores in serial.bias.toxicity.items():
+            assert np.array_equal(
+                scores, parallel.bias.toxicity[category]
+            ), category
+        assert serial.hateful_core.size == parallel.hateful_core.size
+        assert (
+            serial.social.toxicity_by_in_degree
+            == parallel.social.toxicity_by_in_degree
+        )
+
+    def test_run_records_stage_timings_and_counters(self, parallel_report):
+        seconds = parallel_report.stage_seconds
+        assert set(seconds) == {"crawl", "score", "analyze"}
+        assert all(value >= 0 for value in seconds.values())
+        counters = parallel_report.scoring_counters
+        assert counters["misses"] > 0
+        assert counters["batches"] >= 1

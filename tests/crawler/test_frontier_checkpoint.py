@@ -57,6 +57,39 @@ class TestFrontier:
         with pytest.raises(IndexError):
             CrawlFrontier().pop()
 
+    def test_fail_never_added_item_raises(self):
+        frontier = CrawlFrontier(["x"])
+        frontier.pop()
+        with pytest.raises(ValueError):
+            frontier.fail("y")
+
+    def test_fail_still_queued_item_raises(self):
+        frontier = CrawlFrontier(["x"])
+        with pytest.raises(ValueError):
+            frontier.fail("x")
+
+    def test_completed_never_goes_negative(self):
+        frontier = CrawlFrontier(["x"])
+        frontier.pop()
+        with pytest.raises(ValueError):
+            frontier.fail("never-popped")
+        assert frontier.completed == 1
+
+    def test_requeued_item_goes_to_the_back(self):
+        frontier = CrawlFrontier(["a", "b"])
+        assert frontier.pop() == "a"
+        assert frontier.fail("a")
+        assert [frontier.pop(), frontier.pop()] == ["b", "a"]
+
+    def test_requeued_item_counts_as_pending_again(self):
+        frontier = CrawlFrontier(["a"])
+        frontier.pop()
+        assert frontier.fail("a")
+        # "a" is back in the queue, so failing it again without popping
+        # is the same un-popped bug the guard exists for.
+        with pytest.raises(ValueError):
+            frontier.fail("a")
+
     @given(st.lists(st.integers(0, 30), max_size=60))
     def test_each_item_processed_once(self, items):
         frontier = CrawlFrontier(items)
