@@ -1,0 +1,95 @@
+"""R1 — Robustness: checkpointing overhead and resume savings.
+
+The resumable runtime only earns its place if periodic snapshots are
+cheap (the crawl issues exactly the same requests, with modest wall-time
+overhead) and resuming actually skips work (a killed-and-resumed crawl
+issues strictly fewer requests than starting over).  This bench measures
+both on the virtual-clock crawl stack.
+"""
+
+import time
+
+from benchmarks._report import record, row
+from repro.core.pipeline import ReproductionPipeline
+from repro.crawler.checkpoint import result_to_payload
+from repro.crawler.runtime import Checkpointer, load_state
+from repro.net.errors import CrawlKilled
+from repro.platform.config import WorldConfig
+from repro.platform.world import build_world
+
+SCALE = 0.002
+SEED = 77
+EVERY_PAGES = 100
+
+
+def test_checkpoint_overhead_and_resume_savings(tmp_path):
+    config = WorldConfig(scale=SCALE, seed=SEED)
+    world = build_world(config)
+
+    # Plain crawl: the baseline for requests and wall time.
+    plain = ReproductionPipeline(config, world=world)
+    t0 = time.perf_counter()
+    plain_artifacts = plain.stage_crawl()
+    plain_seconds = time.perf_counter() - t0
+    plain_requests = plain.origins.transport.requests_attempted
+
+    # Same crawl with aggressive periodic checkpointing.
+    state_path = tmp_path / "crawl.state.json"
+    checkpointed = ReproductionPipeline(config, world=world)
+    checkpointer = Checkpointer(state_path, every_pages=EVERY_PAGES)
+    t0 = time.perf_counter()
+    checkpointed_artifacts = checkpointed.stage_crawl(checkpointer=checkpointer)
+    checkpointed_seconds = time.perf_counter() - t0
+    checkpointed_requests = checkpointed.origins.transport.requests_attempted
+
+    # Kill at the halfway request, then resume from the last snapshot.
+    kill_path = tmp_path / "killed.state.json"
+    killed = ReproductionPipeline(config, world=world)
+    killed.origins.transport.kill_after(plain_requests // 2)
+    try:
+        killed.stage_crawl(
+            checkpointer=Checkpointer(kill_path, every_pages=EVERY_PAGES)
+        )
+        raise AssertionError("kill injector did not fire")
+    except CrawlKilled:
+        pass
+    resumed = ReproductionPipeline(config, world=world)
+    resumed_artifacts = resumed.stage_crawl(
+        checkpointer=Checkpointer(kill_path, every_pages=EVERY_PAGES),
+        resume=load_state(kill_path),
+    )
+    resumed_requests = resumed.origins.transport.requests_attempted
+
+    # The snapshot serialises the full partial corpus, so the per-save
+    # cost (not the total) is the number that matters: cadence amortises
+    # it, and on a real weeks-long crawl network latency dwarfs it.
+    per_save_ms = (
+        (checkpointed_seconds - plain_seconds) / max(checkpointer.saves, 1)
+    ) * 1000.0
+    lines = [
+        row("crawl size (requests)", "-", plain_requests),
+        row("requests with checkpointing", "identical",
+            checkpointed_requests),
+        row("checkpoints written", f"~every {EVERY_PAGES} pages",
+            checkpointer.saves),
+        row("state file size", "-", f"{state_path.stat().st_size / 1024:.0f} KiB"),
+        row("cost per checkpoint", "amortised by cadence",
+            f"{per_save_ms:.1f} ms"),
+        row("resume leg requests", f"< {plain_requests}", resumed_requests),
+        row("requests saved by resuming", "> 0",
+            plain_requests - resumed_requests),
+    ]
+    record("checkpoint_overhead",
+           "R1 — checkpointing overhead and resume savings", lines)
+
+    # Checkpointing must not change what gets fetched…
+    assert checkpointed_requests == plain_requests
+    assert result_to_payload(checkpointed_artifacts.corpus) == (
+        result_to_payload(plain_artifacts.corpus)
+    )
+    assert checkpointer.saves > 0
+    # …and resuming must provably skip already-fetched work.
+    assert resumed_requests < plain_requests
+    assert result_to_payload(resumed_artifacts.corpus) == (
+        result_to_payload(plain_artifacts.corpus)
+    )

@@ -21,11 +21,63 @@ from pathlib import Path
 from repro.core.pipeline import ReproductionPipeline
 from repro.core.report import render_full_report, render_stage_timings
 from repro.crawler.checkpoint import dump_result
+from repro.crawler.runtime import Checkpointer, load_state
+from repro.net.errors import CrawlKilled
 from repro.nlp.dictionary import HateDictionary
 from repro.perspective.models import PerspectiveModels
 from repro.platform.config import WorldConfig
 
 __all__ = ["build_parser", "main"]
+
+EXIT_KILLED = 3   # the --die-after injector fired; state file holds progress
+
+
+def _add_resume_flags(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume options shared by ``run`` and ``crawl``."""
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write a resumable crawl checkpoint every N fetched pages "
+             "(0 = only on --resume; checkpoints are atomic)")
+    parser.add_argument(
+        "--checkpoint-seconds", type=float, default=0.0, metavar="M",
+        help="also checkpoint every M simulated seconds (0 = off)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the crawl from the --state file's last checkpoint")
+    parser.add_argument(
+        "--state", type=Path, default=None,
+        help="runtime checkpoint file (default: <out/report>.state.json)")
+    parser.add_argument(
+        "--die-after", type=int, default=None, metavar="K",
+        help="kill the crawl after K HTTP requests (crash-safety testing; "
+             f"exits with status {EXIT_KILLED})")
+
+
+def _build_runtime(args: argparse.Namespace, pipeline: ReproductionPipeline,
+                   default_state: Path) -> tuple[Checkpointer | None, dict | None]:
+    """Assemble the Checkpointer and resume payload from CLI flags."""
+    state_path = args.state or default_state
+    checkpointer = None
+    wants_checkpoints = (
+        args.checkpoint_every > 0 or args.checkpoint_seconds > 0 or args.resume
+    )
+    if wants_checkpoints:
+        checkpointer = Checkpointer(
+            state_path,
+            every_pages=args.checkpoint_every if args.checkpoint_every > 0 else 25,
+            every_seconds=args.checkpoint_seconds,
+            clock=pipeline.origins.clock,
+        )
+    resume_payload = None
+    if args.resume:
+        if not state_path.exists():
+            raise SystemExit(
+                f"--resume: no checkpoint state at {state_path}"
+            )
+        resume_payload = load_state(state_path)
+    if args.die_after is not None:
+        pipeline.origins.transport.kill_after(args.die_after)
+    return checkpointer, resume_payload
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the crawl corpus to this JSON file")
     run.add_argument("--report", type=Path, default=None,
                      help="write the text report to this file")
+    run.add_argument("--with-faults", action="store_true",
+                     help="inject transport faults (exercises retries)")
+    _add_resume_flags(run)
 
     crawl = sub.add_parser("crawl", help="collection stages only")
     crawl.add_argument("--scale", type=float, default=0.005)
@@ -59,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint file to write")
     crawl.add_argument("--with-faults", action="store_true",
                        help="inject transport faults (exercises retries)")
+    _add_resume_flags(crawl)
 
     score = sub.add_parser("score", help="score comment text")
     score.add_argument("text", nargs="*", help="comment text (default: stdin)")
@@ -83,9 +139,23 @@ def _config(args: argparse.Namespace) -> WorldConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    pipeline = ReproductionPipeline(_config(args), workers=args.workers)
+    pipeline = ReproductionPipeline(
+        _config(args), with_faults=args.with_faults, workers=args.workers
+    )
     print(f"world: {pipeline.world.summary()}", file=sys.stderr)
-    report = pipeline.run()
+    default_state = Path(
+        str(args.report or args.checkpoint or "repro-run") + ".state.json"
+    )
+    checkpointer, resume_payload = _build_runtime(args, pipeline, default_state)
+    try:
+        report = pipeline.run(checkpointer=checkpointer, resume=resume_payload)
+    except CrawlKilled as killed:
+        state_path = args.state or default_state
+        print(f"crawl killed after {killed.requests_served} requests; "
+              f"resume with --resume --state {state_path}", file=sys.stderr)
+        return EXIT_KILLED
+    if checkpointer is not None:
+        checkpointer.path.unlink(missing_ok=True)
     text = render_full_report(report)
     print(text)
     print(render_stage_timings(report), file=sys.stderr)
@@ -102,10 +172,22 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     pipeline = ReproductionPipeline(
         _config(args), with_faults=args.with_faults
     )
-    enumeration = pipeline.enumerate_gab()
-    corpus, crawler = pipeline.crawl_dissenter(enumeration.usernames())
-    pipeline.uncover_shadow(corpus)
+    default_state = Path(str(args.out) + ".state.json")
+    checkpointer, resume_payload = _build_runtime(args, pipeline, default_state)
+    try:
+        artifacts = pipeline.stage_crawl(
+            checkpointer=checkpointer, resume=resume_payload
+        )
+    except CrawlKilled as killed:
+        state_path = args.state or default_state
+        print(f"crawl killed after {killed.requests_served} requests; "
+              f"resume with --resume --state {state_path}", file=sys.stderr)
+        return EXIT_KILLED
+    corpus = artifacts.corpus
     dump_result(corpus, args.out)
+    if checkpointer is not None:
+        # The finished corpus supersedes the runtime state file.
+        checkpointer.path.unlink(missing_ok=True)
     print(f"crawled {corpus.summary()} "
           f"({pipeline.client.stats.requests} HTTP requests, "
           f"{pipeline.client.stats.timeouts} timeouts retried)")

@@ -48,6 +48,8 @@ from repro.core.relative import (
 )
 from repro.core.scoring import ScoreStore
 from repro.core.shadow import ShadowToxicity, analyze_shadow_toxicity
+from repro.crawler.checkpoint import result_from_payload, result_to_payload
+from repro.crawler.runtime import Checkpointer
 from repro.core.socialnet import (
     HatefulCore,
     SocialNetworkAnalysis,
@@ -64,6 +66,7 @@ from repro.crawler.records import CrawlResult
 from repro.crawler.reddit_crawl import RedditMatcher, RedditMatchResult
 from repro.crawler.shadow import ShadowCrawler
 from repro.crawler.social_crawl import (
+    SocialCrawlResult,
     SocialGraphCrawler,
     induce_dissenter_graph,
 )
@@ -81,9 +84,31 @@ from repro.platform.world import World, build_world
 
 __all__ = [
     "CrawlArtifacts",
+    "PIPELINE_STAGES",
     "ReproductionPipeline",
     "ReproductionReport",
 ]
+
+# stage_crawl's resumable §3 stages, in execution order.  A checkpoint
+# records which one is active; "tail" (validation, Reddit matching,
+# baseline assembly) is cheap and idempotent, so it is re-run wholesale
+# when a resume lands there.
+PIPELINE_STAGES = (
+    "gab_enum",
+    "dissenter_detect",
+    "dissenter_crawl",
+    "shadow",
+    "youtube",
+    "social",
+    "tail",
+)
+
+_PIPELINE_CHECKPOINT_VERSION = 2
+
+
+def _stage_done(stage: str, name: str) -> bool:
+    """Whether pipeline stage ``name`` completed before ``stage``."""
+    return PIPELINE_STAGES.index(stage) > PIPELINE_STAGES.index(name)
 
 
 @dataclass
@@ -181,9 +206,17 @@ class ReproductionPipeline:
     # Crawl stages (each usable on its own).
     # ------------------------------------------------------------------
 
-    def enumerate_gab(self) -> GabEnumerationResult:
+    def enumerate_gab(
+        self,
+        checkpointer: Checkpointer | None = None,
+        resume: dict | None = None,
+    ) -> GabEnumerationResult:
         enumerator = GabEnumerator(self.client)
-        return enumerator.enumerate(max_id=self.world.gab.max_id)
+        return enumerator.enumerate(
+            max_id=self.world.gab.max_id,
+            checkpointer=checkpointer,
+            resume=resume,
+        )
 
     def crawl_dissenter(
         self, usernames: list[str]
@@ -239,15 +272,137 @@ class ReproductionPipeline:
     # Pipeline stages.
     # ------------------------------------------------------------------
 
-    def stage_crawl(self) -> CrawlArtifacts:
-        """Stage 1: every §3 collection stage; nothing is scored yet."""
+    def stage_crawl(
+        self,
+        checkpointer: Checkpointer | None = None,
+        resume: dict | None = None,
+    ) -> CrawlArtifacts:
+        """Stage 1: every §3 collection stage; nothing is scored yet.
+
+        Args:
+            checkpointer: write a composite pipeline checkpoint
+                periodically — it records which §3 stage is active, the
+                artifacts of completed stages, and the active crawler's
+                own v2 checkpoint (frontier, cursor, partial result,
+                cookies).  Writes are atomic.
+            resume: a previously written pipeline checkpoint payload;
+                completed stages are restored from their artifacts
+                without issuing a single request, and the active stage
+                continues from its crawler checkpoint.
+        """
         world = self.world
-        gab_enum = self.enumerate_gab()
-        corpus, _crawler = self.crawl_dissenter(gab_enum.usernames())
-        shadow_crawler = self.uncover_shadow(corpus)
+        stage = PIPELINE_STAGES[0]
+        artifacts: dict = {}
+        active: dict | None = None
+        if resume is not None:
+            if not isinstance(resume, dict) or resume.get("kind") != "pipeline":
+                raise ValueError("not a pipeline checkpoint payload")
+            if resume.get("version") != _PIPELINE_CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"unsupported pipeline checkpoint version "
+                    f"{resume.get('version')!r}"
+                )
+            stage = resume["stage"]
+            if stage not in PIPELINE_STAGES:
+                raise ValueError(f"unknown pipeline stage {stage!r}")
+            artifacts = dict(resume.get("artifacts") or {})
+            active = resume.get("active")
+
+        if checkpointer is not None:
+            checkpointer.set_wrapper(
+                lambda inner: {
+                    "version": _PIPELINE_CHECKPOINT_VERSION,
+                    "kind": "pipeline",
+                    "stage": stage,
+                    "artifacts": artifacts,
+                    "active": inner,
+                }
+            )
+
+        def advance(next_stage: str) -> None:
+            nonlocal stage, active
+            stage = next_stage
+            active = None
+            if checkpointer is not None:
+                checkpointer.set_provider(None)
+                checkpointer.flush()
+
+        # ---- §3.1: Gab ID-space enumeration -------------------------
+        if stage == "gab_enum":
+            gab_enum = self.enumerate_gab(checkpointer=checkpointer, resume=active)
+            artifacts["gab_enum"] = gab_enum.to_dict()
+            advance("dissenter_detect")
+        else:
+            gab_enum = GabEnumerationResult.from_dict(artifacts["gab_enum"])
+
+        # ---- §3.1: Dissenter account detection ----------------------
+        crawler = DissenterCrawler(self.client)
+        if stage == "dissenter_detect":
+            detected = crawler.detect_accounts(
+                gab_enum.usernames(), checkpointer=checkpointer, resume=active
+            )
+            artifacts["detected"] = detected
+            advance("dissenter_crawl")
+        elif _stage_done(stage, "dissenter_detect"):
+            detected = list(artifacts["detected"])
+
+        # ---- §3.1-3.2: the Dissenter spider -------------------------
+        if stage == "dissenter_crawl":
+            corpus = crawler.crawl(
+                detected, checkpointer=checkpointer, resume=active
+            )
+            # §3.2's re-request loop: idempotent, so it is simply re-run
+            # if a resume lands between the crawl and its completion.
+            while crawler.stats.comment_pages_failed:
+                if crawler.recrawl_failures(corpus) == 0:
+                    break
+            artifacts["corpus"] = result_to_payload(corpus)
+            advance("shadow")
+        elif _stage_done(stage, "dissenter_crawl"):
+            corpus = result_from_payload(artifacts["corpus"])
+
+        # ---- §3.2: shadow (NSFW/offensive) overlay ------------------
+        shadow_crawler = ShadowCrawler(self.client, self.origins.dissenter)
+        if stage == "shadow":
+            shadow_crawler.uncover(
+                corpus, checkpointer=checkpointer, resume=active
+            )
+            artifacts["corpus"] = result_to_payload(corpus)
+            advance("youtube")
+
+        # ---- §3.3: YouTube metadata rendering -----------------------
+        yt_urls = [u.url for u in corpus.urls.values() if is_youtube_url(u.url)]
+        if stage == "youtube":
+            youtube_crawl = YouTubeCrawler(self.client).crawl(
+                yt_urls, checkpointer=checkpointer, resume=active
+            )
+            artifacts["youtube"] = youtube_crawl.to_dict()
+            advance("social")
+        elif _stage_done(stage, "youtube"):
+            youtube_crawl = YouTubeCrawlResult.from_dict(artifacts["youtube"])
+
+        # ---- §3.4: Gab follower graph -------------------------------
+        gab_ids = {
+            account.username: account.gab_id for account in gab_enum.accounts
+        }
+        active_ids = [
+            gab_ids[u.username]
+            for u in corpus.active_users()
+            if u.username in gab_ids
+        ]
+        if stage == "social":
+            social_crawler = SocialGraphCrawler(self.client, floor_interval=0.0)
+            raw_social = social_crawler.crawl(
+                active_ids, checkpointer=checkpointer, resume=active
+            )
+            artifacts["social"] = raw_social.to_dict()
+            advance("tail")
+        elif _stage_done(stage, "social"):
+            raw_social = SocialCrawlResult.from_dict(artifacts["social"])
+        graph = induce_dissenter_graph(raw_social, active_ids)
+
+        # ---- tail: validation, Reddit matching, baselines -----------
         validation = self.validate(corpus, shadow_crawler)
-        youtube_crawl = self.crawl_youtube(corpus)
-        graph, active_ids, gab_ids = self.crawl_social(corpus, gab_enum)
         reddit_match = self.match_reddit(corpus)
         baseline_texts = {
             "reddit": [
@@ -337,10 +492,19 @@ class ReproductionPipeline:
     # Full run.
     # ------------------------------------------------------------------
 
-    def run(self) -> ReproductionReport:
-        """Execute crawl -> scoring pass -> analyses, with stage timings."""
+    def run(
+        self,
+        checkpointer: Checkpointer | None = None,
+        resume: dict | None = None,
+    ) -> ReproductionReport:
+        """Execute crawl -> scoring pass -> analyses, with stage timings.
+
+        ``checkpointer``/``resume`` apply to the crawl stage only: the
+        scoring and analysis stages are pure recomputation over the
+        crawl artifacts and need no resumability.
+        """
         t0 = time.perf_counter()
-        artifacts = self.stage_crawl()
+        artifacts = self.stage_crawl(checkpointer=checkpointer, resume=resume)
         t1 = time.perf_counter()
         self.stage_score(artifacts)
         t2 = time.perf_counter()

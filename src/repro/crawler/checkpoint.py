@@ -1,13 +1,23 @@
 """Crawl checkpointing.
 
 The paper's crawl ran for weeks against a live service; resumability was
-survival.  A :class:`CrawlResult` serialises to a single JSON document and
-loads back losslessly, so a crawl can stop after any stage and resume.
+survival.  Two formats live here:
+
+* **v1** — a finished :class:`CrawlResult` serialised to a single JSON
+  document (:func:`dumps_result` / :func:`loads_result`).  This is the
+  corpus interchange format.
+* **v2** — a :class:`CrawlCheckpoint`: one crawler's *in-progress* state
+  (active stage, cursor, partial result, serialised frontier, stats, and
+  cookie jar), written atomically so a crawl killed at any instant can
+  resume from its last periodic snapshot.  The resumable runtime in
+  :mod:`repro.crawler.runtime` drives the cadence.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.crawler.records import (
@@ -17,15 +27,28 @@ from repro.crawler.records import (
     CrawledUser,
 )
 
-__all__ = ["dump_result", "dumps_result", "load_result", "loads_result"]
+__all__ = [
+    "CrawlCheckpoint",
+    "atomic_write_json",
+    "atomic_write_text",
+    "coerce_checkpoint",
+    "dump_checkpoint",
+    "dump_result",
+    "dumps_result",
+    "load_checkpoint",
+    "load_result",
+    "loads_result",
+    "result_from_payload",
+    "result_to_payload",
+]
 
 _FORMAT_VERSION = 1
+_RUNTIME_FORMAT_VERSION = 2
 
 
-def dumps_result(result: CrawlResult) -> str:
-    """Serialise a crawl result to a JSON string."""
-    payload = {
-        "version": _FORMAT_VERSION,
+def result_to_payload(result: CrawlResult) -> dict:
+    """Serialise a crawl result to a JSON-ready dict (no version field)."""
+    return {
         "users": [
             {
                 "username": u.username,
@@ -63,6 +86,62 @@ def dumps_result(result: CrawlResult) -> str:
             for c in result.comments.values()
         ],
     }
+
+
+def result_from_payload(payload: dict) -> CrawlResult:
+    """Rebuild a crawl result from :func:`result_to_payload` output.
+
+    Raises:
+        ValueError: the payload is not a dict or is missing/mistyping
+            required fields.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"checkpoint payload must be an object, got {type(payload).__name__}"
+        )
+    result = CrawlResult()
+    try:
+        for entry in payload["users"]:
+            user = CrawledUser(
+                username=entry["username"],
+                author_id=entry["author_id"],
+                display_name=entry.get("display_name", ""),
+                bio=entry.get("bio", ""),
+                commented_url_ids=list(entry.get("commented_url_ids", [])),
+                language=entry.get("language"),
+                permissions=dict(entry.get("permissions", {})),
+                view_filters=dict(entry.get("view_filters", {})),
+            )
+            result.users[user.username] = user
+        for entry in payload["urls"]:
+            url = CrawledUrl(
+                commenturl_id=entry["commenturl_id"],
+                url=entry["url"],
+                title=entry.get("title", ""),
+                description=entry.get("description", ""),
+                upvotes=int(entry.get("upvotes", 0)),
+                downvotes=int(entry.get("downvotes", 0)),
+            )
+            result.urls[url.commenturl_id] = url
+        for entry in payload["comments"]:
+            comment = CrawledComment(
+                comment_id=entry["comment_id"],
+                author_id=entry["author_id"],
+                commenturl_id=entry["commenturl_id"],
+                text=entry["text"],
+                parent_comment_id=entry.get("parent_comment_id"),
+                created_at_epoch=int(entry.get("created_at_epoch", 0)),
+                shadow_label=entry.get("shadow_label"),
+            )
+            result.comments[comment.comment_id] = comment
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ValueError(f"malformed checkpoint document: {exc!r}") from exc
+    return result
+
+
+def dumps_result(result: CrawlResult) -> str:
+    """Serialise a crawl result to a JSON string."""
+    payload = {"version": _FORMAT_VERSION, **result_to_payload(result)}
     return json.dumps(payload)
 
 
@@ -70,55 +149,174 @@ def loads_result(serialized: str) -> CrawlResult:
     """Load a crawl result from a JSON string.
 
     Raises:
-        ValueError: unknown format version or malformed document.
+        ValueError: unknown format version or malformed document (missing
+            keys and mistyped payloads are wrapped, never leaked as bare
+            ``KeyError``/``TypeError``).
     """
-    payload = json.loads(serialized)
+    try:
+        payload = json.loads(serialized)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"checkpoint is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"checkpoint must be a JSON object, got {type(payload).__name__}"
+        )
     if payload.get("version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported checkpoint version {payload.get('version')!r}"
         )
-    result = CrawlResult()
-    for entry in payload["users"]:
-        user = CrawledUser(
-            username=entry["username"],
-            author_id=entry["author_id"],
-            display_name=entry.get("display_name", ""),
-            bio=entry.get("bio", ""),
-            commented_url_ids=list(entry.get("commented_url_ids", [])),
-            language=entry.get("language"),
-            permissions=dict(entry.get("permissions", {})),
-            view_filters=dict(entry.get("view_filters", {})),
-        )
-        result.users[user.username] = user
-    for entry in payload["urls"]:
-        url = CrawledUrl(
-            commenturl_id=entry["commenturl_id"],
-            url=entry["url"],
-            title=entry.get("title", ""),
-            description=entry.get("description", ""),
-            upvotes=int(entry.get("upvotes", 0)),
-            downvotes=int(entry.get("downvotes", 0)),
-        )
-        result.urls[url.commenturl_id] = url
-    for entry in payload["comments"]:
-        comment = CrawledComment(
-            comment_id=entry["comment_id"],
-            author_id=entry["author_id"],
-            commenturl_id=entry["commenturl_id"],
-            text=entry["text"],
-            parent_comment_id=entry.get("parent_comment_id"),
-            created_at_epoch=int(entry.get("created_at_epoch", 0)),
-            shadow_label=entry.get("shadow_label"),
-        )
-        result.comments[comment.comment_id] = comment
-    return result
+    return result_from_payload(payload)
 
 
 def dump_result(result: CrawlResult, path: str | Path) -> None:
-    """Write a checkpoint file."""
-    Path(path).write_text(dumps_result(result), encoding="utf-8")
+    """Write a checkpoint file (atomically)."""
+    atomic_write_text(path, dumps_result(result))
 
 
 def load_result(path: str | Path) -> CrawlResult:
     """Read a checkpoint file."""
     return loads_result(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Atomic writes.
+# ----------------------------------------------------------------------
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    A reader (or a resumed crawl) never observes a torn file: it sees
+    either the previous complete checkpoint or the new one.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_json(path: str | Path, payload: dict) -> None:
+    """Serialise ``payload`` and write it atomically."""
+    atomic_write_text(path, json.dumps(payload))
+
+
+# ----------------------------------------------------------------------
+# Checkpoint format v2: in-progress crawler state.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CrawlCheckpoint:
+    """One crawler's resumable state at a point in time.
+
+    Attributes:
+        crawler: which crawler wrote this ("dissenter", "gab_enum",
+            "shadow", "youtube", "social").
+        stage: the crawler-specific stage that was active.
+        cursor: crawler-specific progress (indices, partial collections)
+            — everything in it must be JSON-serialisable.
+        result: the partial :class:`CrawlResult`, when the crawler builds
+            one.
+        frontier: a :meth:`CrawlFrontier.to_state` snapshot, when the
+            active stage drains a frontier.
+        stats: serialised per-stage progress counters.
+        cookies: a :meth:`CookieJar.to_state` snapshot of the client's
+            jar (authenticated shadow sessions live here).
+    """
+
+    crawler: str
+    stage: str
+    cursor: dict = field(default_factory=dict)
+    result: CrawlResult | None = None
+    frontier: dict | None = None
+    stats: dict | None = None
+    cookies: list | None = None
+
+    def to_payload(self) -> dict:
+        return {
+            "version": _RUNTIME_FORMAT_VERSION,
+            "crawler": self.crawler,
+            "stage": self.stage,
+            "cursor": self.cursor,
+            "result": (
+                result_to_payload(self.result) if self.result is not None else None
+            ),
+            "frontier": self.frontier,
+            "stats": self.stats,
+            "cookies": self.cookies,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CrawlCheckpoint":
+        """Parse a v2 payload.
+
+        Raises:
+            ValueError: wrong version or malformed document.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"v2 checkpoint must be an object, got {type(payload).__name__}"
+            )
+        if payload.get("version") != _RUNTIME_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported runtime checkpoint version "
+                f"{payload.get('version')!r}"
+            )
+        try:
+            raw_result = payload.get("result")
+            return cls(
+                crawler=payload["crawler"],
+                stage=payload["stage"],
+                cursor=dict(payload.get("cursor") or {}),
+                result=(
+                    result_from_payload(raw_result)
+                    if raw_result is not None
+                    else None
+                ),
+                frontier=payload.get("frontier"),
+                stats=payload.get("stats"),
+                cookies=payload.get("cookies"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed v2 checkpoint: {exc!r}") from exc
+
+
+def coerce_checkpoint(resume: "CrawlCheckpoint | dict", crawler: str) -> "CrawlCheckpoint":
+    """Accept either a parsed checkpoint or its payload; validate ownership.
+
+    Raises:
+        ValueError: the checkpoint belongs to a different crawler or is
+            malformed.
+    """
+    checkpoint = (
+        resume
+        if isinstance(resume, CrawlCheckpoint)
+        else CrawlCheckpoint.from_payload(resume)
+    )
+    if checkpoint.crawler != crawler:
+        raise ValueError(
+            f"checkpoint belongs to crawler {checkpoint.crawler!r}, "
+            f"cannot resume {crawler!r}"
+        )
+    return checkpoint
+
+
+def dump_checkpoint(checkpoint: CrawlCheckpoint, path: str | Path) -> None:
+    """Write a v2 checkpoint file atomically."""
+    atomic_write_json(path, checkpoint.to_payload())
+
+
+def load_checkpoint(path: str | Path) -> CrawlCheckpoint:
+    """Read a v2 checkpoint file.
+
+    Raises:
+        ValueError: malformed or wrong-version file.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"checkpoint is not valid JSON: {exc}") from exc
+    return CrawlCheckpoint.from_payload(payload)

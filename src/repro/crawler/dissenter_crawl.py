@@ -14,6 +14,11 @@ and reply (comment-id, author-id, parent-id, text).
 Stage 4 — hidden metadata: visit one single-comment page per distinct
 author and mine the commented-out ``commentAuthor`` JavaScript variable
 for language / permissions / view-filter settings.
+
+Every stage is **resumable**: given a :class:`~repro.crawler.runtime.
+Checkpointer` the crawler snapshots its frontier, partial result, stats,
+cookie jar and stage cursor periodically; given a prior checkpoint it
+skips all already-fetched work and continues from the cursor.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
 from repro.crawler.frontier import CrawlFrontier
 from repro.crawler.parsing import (
     parse_comment_author_blob,
@@ -28,11 +34,16 @@ from repro.crawler.parsing import (
     parse_user_page,
 )
 from repro.crawler.records import CrawlResult
+from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
 
 __all__ = ["DissenterCrawler", "SIZE_THRESHOLD"]
 
 SIZE_THRESHOLD = 10_240   # bytes: the paper's ">= 10 kB means account exists"
+
+# crawl()'s resumable stages, in execution order.
+_CRAWL_STAGES = ("home_pages", "comment_pages", "metadata", "done")
 
 
 @dataclass
@@ -46,6 +57,32 @@ class CrawlStats:
     comment_pages_failed: list[str] = field(default_factory=list)
     author_pages_visited: int = 0
 
+    def to_dict(self) -> dict:
+        return {
+            "usernames_probed": self.usernames_probed,
+            "accounts_detected": self.accounts_detected,
+            "home_pages_parsed": self.home_pages_parsed,
+            "comment_pages_parsed": self.comment_pages_parsed,
+            "comment_pages_failed": list(self.comment_pages_failed),
+            "author_pages_visited": self.author_pages_visited,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CrawlStats":
+        try:
+            return cls(
+                usernames_probed=int(payload.get("usernames_probed", 0)),
+                accounts_detected=int(payload.get("accounts_detected", 0)),
+                home_pages_parsed=int(payload.get("home_pages_parsed", 0)),
+                comment_pages_parsed=int(payload.get("comment_pages_parsed", 0)),
+                comment_pages_failed=list(
+                    payload.get("comment_pages_failed", [])
+                ),
+                author_pages_visited=int(payload.get("author_pages_visited", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"malformed crawl stats: {exc!r}") from exc
+
 
 class DissenterCrawler:
     """Drives the full §3.1-3.2 crawl over HTTP."""
@@ -56,72 +93,206 @@ class DissenterCrawler:
         self._client = client
         self.stats = CrawlStats()
 
+    def _restore_client_cookies(self, cookies: list | None) -> None:
+        if cookies is not None:
+            self._client.cookies = CookieJar.from_state(cookies)
+
     # ------------------------------------------------------------------
     # Stage 1: account detection by response size.
     # ------------------------------------------------------------------
 
-    def detect_accounts(self, usernames: Iterable[str]) -> list[str]:
-        """Return the subset of usernames that have Dissenter accounts."""
+    def detect_accounts(
+        self,
+        usernames: Iterable[str],
+        checkpointer: Checkpointer | None = None,
+        resume: CrawlCheckpoint | dict | None = None,
+    ) -> list[str]:
+        """Return the subset of usernames that have Dissenter accounts.
+
+        With a ``checkpointer``, progress is snapshotted periodically;
+        with ``resume`` (a prior "detect" checkpoint) probing continues
+        from the saved index — already-probed usernames are never
+        re-requested.
+        """
+        usernames = list(usernames)
+        index = 0
         detected: list[str] = []
-        for username in usernames:
+        if resume is not None:
+            checkpoint = coerce_checkpoint(resume, "dissenter")
+            if checkpoint.stage != "detect":
+                raise ValueError(
+                    f"cannot resume detect_accounts from stage "
+                    f"{checkpoint.stage!r}"
+                )
+            index = int(checkpoint.cursor.get("index", 0))
+            detected = list(checkpoint.cursor.get("detected", []))
+            if checkpoint.stats is not None:
+                self.stats = CrawlStats.from_dict(checkpoint.stats)
+            self._restore_client_cookies(checkpoint.cookies)
+
+        if checkpointer is not None:
+            checkpointer.set_provider(
+                lambda: CrawlCheckpoint(
+                    crawler="dissenter",
+                    stage="detect",
+                    cursor={"index": index, "detected": list(detected)},
+                    stats=self.stats.to_dict(),
+                    cookies=self._client.cookies.to_state(),
+                ).to_payload()
+            )
+
+        while index < len(usernames):
+            username = usernames[index]
             self.stats.usernames_probed += 1
             response = self._client.get_or_none(
                 f"{self.BASE}/user/{username}"
             )
-            if response is None:
-                continue
-            if response.size >= SIZE_THRESHOLD:
+            if response is not None and response.size >= SIZE_THRESHOLD:
                 detected.append(username)
                 self.stats.accounts_detected += 1
+            index += 1
+            if checkpointer is not None:
+                checkpointer.tick()
         return detected
 
     # ------------------------------------------------------------------
     # Stages 2-4.
     # ------------------------------------------------------------------
 
-    def crawl(self, usernames: Sequence[str]) -> CrawlResult:
+    def crawl(
+        self,
+        usernames: Sequence[str],
+        checkpointer: Checkpointer | None = None,
+        resume: CrawlCheckpoint | dict | None = None,
+    ) -> CrawlResult:
         """Crawl home pages, comment pages, and hidden author metadata.
 
         ``usernames`` should be the detected Dissenter accounts (stage 1);
         passing undetected names is harmless — their 404s are skipped.
+        On ``resume``, the same usernames must be passed again: the saved
+        cursor indexes into them.
         """
+        usernames = list(usernames)
         result = CrawlResult()
-        url_frontier: CrawlFrontier[str] = CrawlFrontier()
+        frontier: CrawlFrontier[str] = CrawlFrontier()
+        stage = "home_pages"
+        index = 0                       # home-pages cursor
+        meta_index = 0                  # metadata cursor
+        visited_authors: set[str] = set()
 
-        for username in usernames:
-            response = self._client.get_or_none(f"{self.BASE}/user/{username}")
-            if response is None or response.status != 200:
-                continue
-            if response.size < SIZE_THRESHOLD:
-                continue
-            user = parse_user_page(response.text)
-            if user is None:
-                continue
-            self.stats.home_pages_parsed += 1
-            result.users[user.username] = user
-            url_frontier.add_many(user.commented_url_ids)
+        if resume is not None:
+            checkpoint = coerce_checkpoint(resume, "dissenter")
+            if checkpoint.stage not in _CRAWL_STAGES:
+                raise ValueError(
+                    f"cannot resume crawl from stage {checkpoint.stage!r}"
+                )
+            stage = checkpoint.stage
+            if checkpoint.result is not None:
+                result = checkpoint.result
+            if checkpoint.frontier is not None:
+                frontier = CrawlFrontier.from_state(checkpoint.frontier)
+            if checkpoint.stats is not None:
+                self.stats = CrawlStats.from_dict(checkpoint.stats)
+            self._restore_client_cookies(checkpoint.cookies)
+            index = int(checkpoint.cursor.get("index", 0))
+            meta_index = int(checkpoint.cursor.get("meta_index", 0))
+            visited_authors = set(checkpoint.cursor.get("visited_authors", []))
 
-        for commenturl_id in url_frontier.drain():
-            response = self._client.get_or_none(
-                f"{self.BASE}/discussion/{commenturl_id}"
+        if checkpointer is not None:
+            checkpointer.set_provider(
+                lambda: CrawlCheckpoint(
+                    crawler="dissenter",
+                    stage=stage,
+                    cursor={
+                        "index": index,
+                        "meta_index": meta_index,
+                        "visited_authors": sorted(visited_authors),
+                    },
+                    result=result,
+                    frontier=frontier.to_state(),
+                    stats=self.stats.to_dict(),
+                    cookies=self._client.cookies.to_state(),
+                ).to_payload()
             )
-            if response is None or response.status != 200:
-                if response is not None and response.status == 429:
-                    url_frontier.fail(commenturl_id)
-                else:
-                    self.stats.comment_pages_failed.append(commenturl_id)
-                continue
-            url, comments = parse_comment_page(response.text)
-            if url is None:
-                self.stats.comment_pages_failed.append(commenturl_id)
-                continue
-            self.stats.comment_pages_parsed += 1
-            result.urls[url.commenturl_id] = url
-            for comment in comments:
-                result.comments[comment.comment_id] = comment
 
-        self._mine_hidden_metadata(result)
+        if stage == "home_pages":
+            while index < len(usernames):
+                username = usernames[index]
+                response = self._client.get_or_none(
+                    f"{self.BASE}/user/{username}"
+                )
+                if (
+                    response is not None
+                    and response.status == 200
+                    and response.size >= SIZE_THRESHOLD
+                ):
+                    user = parse_user_page(response.text)
+                    if user is not None:
+                        self.stats.home_pages_parsed += 1
+                        result.users[user.username] = user
+                        frontier.add_many(user.commented_url_ids)
+                index += 1
+                if checkpointer is not None:
+                    checkpointer.tick()
+            stage = "comment_pages"
+            if checkpointer is not None:
+                checkpointer.flush()
+
+        if stage == "comment_pages":
+            for commenturl_id in frontier.drain():
+                self._fetch_comment_page(result, frontier, commenturl_id)
+                if checkpointer is not None:
+                    checkpointer.tick()
+            stage = "metadata"
+            if checkpointer is not None:
+                checkpointer.flush()
+
+        if stage == "metadata":
+            users_by_author = result.users_by_author_id()
+            comments = list(result.comments.values())
+            while meta_index < len(comments):
+                comment = comments[meta_index]
+                requested = self._mine_author_page(
+                    result, comment, users_by_author, visited_authors
+                )
+                meta_index += 1
+                if requested and checkpointer is not None:
+                    checkpointer.tick()
+            stage = "done"
+            if checkpointer is not None:
+                checkpointer.flush()
+
         return result
+
+    def _fetch_comment_page(
+        self,
+        result: CrawlResult,
+        frontier: CrawlFrontier[str],
+        commenturl_id: str,
+    ) -> None:
+        """Fetch and record one discussion page (stage 3 unit of work)."""
+        response = self._client.get_or_none(
+            f"{self.BASE}/discussion/{commenturl_id}"
+        )
+        if response is None or response.status != 200:
+            if response is not None and response.status == 429:
+                # Retry through the frontier; once the retry budget is
+                # spent the page must still be accounted as failed, or
+                # recrawl_failures() and the validation report would
+                # silently undercount missing pages.
+                if not frontier.fail(commenturl_id):
+                    self.stats.comment_pages_failed.append(commenturl_id)
+            else:
+                self.stats.comment_pages_failed.append(commenturl_id)
+            return
+        url, comments = parse_comment_page(response.text)
+        if url is None:
+            self.stats.comment_pages_failed.append(commenturl_id)
+            return
+        self.stats.comment_pages_parsed += 1
+        result.urls[url.commenturl_id] = url
+        for comment in comments:
+            result.comments[comment.comment_id] = comment
 
     def recrawl_failures(self, result: CrawlResult) -> int:
         """Re-request comment pages that failed (§3.2's validation loop).
@@ -149,27 +320,43 @@ class DissenterCrawler:
         self.stats.comment_pages_failed = still_failed
         return recovered
 
+    def _mine_author_page(
+        self,
+        result: CrawlResult,
+        comment,
+        users_by_author: dict,
+        visited_authors: set[str],
+    ) -> bool:
+        """Mine one author's commentAuthor blob (stage 4 unit of work).
+
+        Returns True when an HTTP request was issued.
+        """
+        author_id = comment.author_id
+        if author_id in visited_authors:
+            return False
+        user = users_by_author.get(author_id)
+        if user is None:
+            return False
+        visited_authors.add(author_id)
+        response = self._client.get_or_none(
+            f"{self.BASE}/comment/{comment.comment_id}"
+        )
+        if response is None or response.status != 200:
+            return True
+        self.stats.author_pages_visited += 1
+        blob = parse_comment_author_blob(response.text)
+        if blob is None:
+            return True
+        user.language = blob.get("language")
+        user.permissions = dict(blob.get("permissions", {}))
+        user.view_filters = dict(blob.get("filters", {}))
+        return True
+
     def _mine_hidden_metadata(self, result: CrawlResult) -> None:
         """Visit one comment page per author for the commentAuthor blob."""
         users_by_author = result.users_by_author_id()
         visited_authors: set[str] = set()
-        for comment in result.comments.values():
-            author_id = comment.author_id
-            if author_id in visited_authors:
-                continue
-            user = users_by_author.get(author_id)
-            if user is None:
-                continue
-            visited_authors.add(author_id)
-            response = self._client.get_or_none(
-                f"{self.BASE}/comment/{comment.comment_id}"
+        for comment in list(result.comments.values()):
+            self._mine_author_page(
+                result, comment, users_by_author, visited_authors
             )
-            if response is None or response.status != 200:
-                continue
-            self.stats.author_pages_visited += 1
-            blob = parse_comment_author_blob(response.text)
-            if blob is None:
-                continue
-            user.language = blob.get("language")
-            user.permissions = dict(blob.get("permissions", {}))
-            user.view_filters = dict(blob.get("filters", {}))

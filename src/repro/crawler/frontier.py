@@ -105,3 +105,43 @@ class CrawlFrontier(Generic[T]):
     @property
     def seen_count(self) -> int:
         return len(self._seen)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (the resumable-crawl runtime serialises the frontier
+    # mid-flight: queue order, the seen set, and per-item failure counts).
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Snapshot the frontier as a JSON-serialisable dict.
+
+        Failure counts are stored as ``[item, count]`` pairs (not a dict)
+        so non-string items survive a JSON round trip.
+        """
+        return {
+            "queue": list(self._queue),
+            "seen": list(self._seen),
+            "failures": [[item, count] for item, count in self._failures.items()],
+            "max_retries": self._max_retries,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CrawlFrontier[T]":
+        """Rebuild a frontier from :meth:`to_state` output.
+
+        Raises:
+            ValueError: the state dict is malformed.
+        """
+        try:
+            frontier: CrawlFrontier[T] = cls(max_retries=int(state["max_retries"]))
+            frontier._queue = deque(state["queue"])
+            frontier._seen = set(state["seen"])
+            # Invariant: an item is pending iff it sits in the queue.
+            frontier._pending = set(state["queue"])
+            frontier._failures = {
+                item: int(count) for item, count in state["failures"]
+            }
+            frontier.completed = int(state["completed"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed frontier state: {exc!r}") from exc
+        return frontier

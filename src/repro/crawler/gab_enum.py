@@ -12,11 +12,14 @@ This crawler reproduces that, driving a :class:`HeaderRateLimiter` off the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
-from repro.net.client import HttpClient
-from repro.net.ratelimit import HeaderRateLimiter
+from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
 from repro.crawler.records import CrawledGabAccount
+from repro.crawler.runtime import Checkpointer
+from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
+from repro.net.ratelimit import HeaderRateLimiter
 
 __all__ = ["GabEnumerator", "GabEnumerationResult"]
 
@@ -34,6 +37,35 @@ class GabEnumerationResult:
 
     def usernames(self) -> list[str]:
         return [a.username for a in self.accounts]
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (checkpointing)."""
+        return {
+            "accounts": [asdict(a) for a in self.accounts],
+            "ids_probed": self.ids_probed,
+            "misses": self.misses,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GabEnumerationResult":
+        try:
+            return cls(
+                accounts=[
+                    CrawledGabAccount(
+                        gab_id=int(entry["gab_id"]),
+                        username=entry["username"],
+                        display_name=entry.get("display_name", ""),
+                        created_at_iso=entry.get("created_at_iso", ""),
+                        followers_count=int(entry.get("followers_count", 0)),
+                        following_count=int(entry.get("following_count", 0)),
+                    )
+                    for entry in payload.get("accounts", [])
+                ],
+                ids_probed=int(payload.get("ids_probed", 0)),
+                misses=int(payload.get("misses", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed enumeration state: {exc!r}") from exc
 
 
 class GabEnumerator:
@@ -92,29 +124,70 @@ class GabEnumerator:
             following_count=int(payload.get("following_count", 0)),
         )
 
-    def enumerate(self, max_id: int | None = None) -> GabEnumerationResult:
+    def enumerate(
+        self,
+        max_id: int | None = None,
+        checkpointer: Checkpointer | None = None,
+        resume: CrawlCheckpoint | dict | None = None,
+    ) -> GabEnumerationResult:
         """Sweep IDs from 1 upward.
 
         Args:
             max_id: inclusive upper bound; when None, the sweep stops
                 after ``stop_after_misses`` consecutive misses beyond the
                 last allocated ID.
+            checkpointer: snapshot progress periodically.
+            resume: a prior "gab_enum" checkpoint; the sweep continues
+                from the saved ID — already-probed IDs are never
+                re-requested.
         """
         result = GabEnumerationResult()
         gab_id = 0
         consecutive_misses = 0
+        stage = "enumerate"
+        if resume is not None:
+            checkpoint = coerce_checkpoint(resume, "gab_enum")
+            cursor = checkpoint.cursor
+            gab_id = int(cursor.get("gab_id", 0))
+            consecutive_misses = int(cursor.get("consecutive_misses", 0))
+            result = GabEnumerationResult.from_dict(
+                cursor.get("result") or {}
+            )
+            if checkpoint.cookies is not None:
+                self._client.cookies = CookieJar.from_state(checkpoint.cookies)
+
+        if checkpointer is not None:
+            checkpointer.set_provider(
+                lambda: CrawlCheckpoint(
+                    crawler="gab_enum",
+                    stage=stage,
+                    cursor={
+                        "gab_id": gab_id,
+                        "consecutive_misses": consecutive_misses,
+                        "result": result.to_dict(),
+                    },
+                    cookies=self._client.cookies.to_state(),
+                ).to_payload()
+            )
+
         while True:
-            gab_id += 1
-            if max_id is not None and gab_id > max_id:
+            if max_id is not None and gab_id >= max_id:
                 break
             if max_id is None and consecutive_misses >= self._stop_after_misses:
                 break
+            probe_id = gab_id + 1
             result.ids_probed += 1
-            account = self._fetch_account(gab_id)
+            account = self._fetch_account(probe_id)
             if account is None:
                 result.misses += 1
                 consecutive_misses += 1
-                continue
-            consecutive_misses = 0
-            result.accounts.append(account)
+            else:
+                consecutive_misses = 0
+                result.accounts.append(account)
+            gab_id = probe_id
+            if checkpointer is not None:
+                checkpointer.tick()
+        stage = "done"
+        if checkpointer is not None:
+            checkpointer.flush()
         return result

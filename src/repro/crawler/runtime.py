@@ -1,0 +1,139 @@
+"""The resumable crawl runtime: periodic, atomic checkpoint writing.
+
+The paper's crawl ran for weeks against a live, rate-limited service —
+"resumability was survival".  This module supplies the cadence half of
+that story: a :class:`Checkpointer` owns a checkpoint file and decides
+*when* to snapshot (every N pages and/or every M simulated seconds),
+while the crawlers supply *what* to snapshot through a state provider
+callback.  Writes are atomic (tmp file + ``os.replace``), so a crawl
+killed at any instant leaves either the previous complete checkpoint or
+the new one — never a torn file.
+
+Layering:
+
+* a crawler calls :meth:`Checkpointer.set_provider` with a zero-argument
+  callable returning its current :class:`~repro.crawler.checkpoint.
+  CrawlCheckpoint` payload, then calls :meth:`Checkpointer.tick` once per
+  fetched page;
+* the pipeline optionally wraps every crawler payload via
+  :meth:`Checkpointer.set_wrapper` so the file also records *which* §3
+  stage is active plus the artifacts of completed stages.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.crawler.checkpoint import atomic_write_json
+from repro.net.clock import Clock
+
+__all__ = ["Checkpointer", "load_state"]
+
+
+class Checkpointer:
+    """Periodic atomic checkpoint writer.
+
+    Args:
+        path: checkpoint file location.
+        every_pages: write after this many :meth:`tick` calls (>= 1).
+        every_seconds: also write when this many (simulated) seconds have
+            passed since the last write; 0 disables the time trigger.
+        clock: time source for the seconds trigger (required when
+            ``every_seconds`` > 0).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        every_pages: int = 25,
+        every_seconds: float = 0.0,
+        clock: Clock | None = None,
+    ):
+        if every_pages < 1:
+            raise ValueError("every_pages must be >= 1")
+        if every_seconds < 0:
+            raise ValueError("every_seconds must be >= 0")
+        if every_seconds > 0 and clock is None:
+            raise ValueError("a clock is required for the seconds trigger")
+        self.path = Path(path)
+        self._every_pages = every_pages
+        self._every_seconds = every_seconds
+        self._clock = clock
+        self._pages_since_save = 0
+        self._last_save_time = clock.now() if clock is not None else 0.0
+        self._provider: Callable[[], dict | None] | None = None
+        self._wrapper: Callable[[dict | None], dict | None] | None = None
+        self.saves = 0
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # State sources.
+    # ------------------------------------------------------------------
+
+    def set_provider(self, provider: Callable[[], dict | None] | None) -> None:
+        """Install the active crawler's snapshot callback (None clears)."""
+        self._provider = provider
+
+    def set_wrapper(
+        self, wrapper: Callable[[dict | None], dict | None] | None
+    ) -> None:
+        """Install a payload wrapper (the pipeline's composite envelope)."""
+        self._wrapper = wrapper
+
+    def _payload(self) -> dict | None:
+        inner = self._provider() if self._provider is not None else None
+        if self._wrapper is not None:
+            return self._wrapper(inner)
+        return inner
+
+    # ------------------------------------------------------------------
+    # Cadence.
+    # ------------------------------------------------------------------
+
+    def tick(self) -> bool:
+        """Record one page of progress; write a checkpoint when due.
+
+        Returns True when a checkpoint was written.
+        """
+        self.ticks += 1
+        self._pages_since_save += 1
+        due = self._pages_since_save >= self._every_pages
+        if not due and self._every_seconds > 0 and self._clock is not None:
+            due = (
+                self._clock.now() - self._last_save_time >= self._every_seconds
+            )
+        if due:
+            return self.flush()
+        return False
+
+    def flush(self) -> bool:
+        """Write a checkpoint now (regardless of cadence).
+
+        Returns True when a payload was available and written.
+        """
+        payload = self._payload()
+        if payload is None:
+            return False
+        atomic_write_json(self.path, payload)
+        self.saves += 1
+        self._pages_since_save = 0
+        if self._clock is not None:
+            self._last_save_time = self._clock.now()
+        return True
+
+
+def load_state(path: str | Path) -> dict:
+    """Read a checkpoint file's raw JSON payload.
+
+    Raises:
+        ValueError: the file is unreadable as a JSON object.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"checkpoint is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("checkpoint must be a JSON object")
+    return payload

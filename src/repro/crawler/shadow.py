@@ -19,12 +19,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
 from repro.crawler.parsing import parse_comment_page
 from repro.crawler.records import CrawlResult
+from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
 from repro.platform.apps.dissenter_app import DissenterApp
 
 __all__ = ["ShadowCrawler", "ShadowCrawlReport"]
+
+# The two authenticated passes, in execution order: which view filter the
+# session enables, and the label applied to comments absent from baseline.
+_PASSES: tuple[tuple[str, dict], ...] = (
+    ("nsfw", {"nsfw": True, "offensive": False}),
+    ("offensive", {"nsfw": False, "offensive": True}),
+)
 
 
 @dataclass
@@ -52,6 +62,31 @@ class ShadowCrawler:
         self._client = client
         self._app = app
 
+    def _label_page(
+        self,
+        result: CrawlResult,
+        commenturl_id: str,
+        label: str,
+        baseline_ids: set[str],
+    ) -> int:
+        """Fetch one discussion page; label comments absent from baseline."""
+        found = 0
+        response = self._client.get_or_none(
+            f"{self.BASE}/discussion/{commenturl_id}"
+        )
+        if response is None or response.status != 200:
+            return 0
+        _, comments = parse_comment_page(response.text)
+        for comment in comments:
+            if comment.comment_id in baseline_ids:
+                continue
+            if comment.comment_id in result.comments:
+                continue
+            comment.shadow_label = label
+            result.comments[comment.comment_id] = comment
+            found += 1
+        return found
+
     def _crawl_pass(
         self,
         result: CrawlResult,
@@ -63,41 +98,105 @@ class ShadowCrawler:
         self._client.cookies.set_simple("session", token, "dissenter.com")
         found = 0
         for commenturl_id in list(result.urls):
-            response = self._client.get_or_none(
-                f"{self.BASE}/discussion/{commenturl_id}"
-            )
-            if response is None or response.status != 200:
-                continue
-            _, comments = parse_comment_page(response.text)
-            for comment in comments:
-                if comment.comment_id in baseline_ids:
-                    continue
-                if comment.comment_id in result.comments:
-                    continue
-                comment.shadow_label = label
-                result.comments[comment.comment_id] = comment
-                found += 1
+            found += self._label_page(result, commenturl_id, label, baseline_ids)
         self._client.cookies.clear("dissenter.com")
         return found
 
-    def uncover(self, result: CrawlResult) -> ShadowCrawlReport:
+    def uncover(
+        self,
+        result: CrawlResult,
+        checkpointer: Checkpointer | None = None,
+        resume: CrawlCheckpoint | dict | None = None,
+    ) -> ShadowCrawlReport:
         """Run the NSFW and offensive passes over the baseline result.
 
         Mutates ``result``: hidden comments are added with their
         ``shadow_label`` set.
+
+        With a ``checkpointer``, the pass, per-pass page index, baseline
+        comment-id set and URL order are snapshotted so an interrupted
+        differential crawl resumes exactly where it stopped.  On
+        ``resume`` the checkpoint's corpus replaces the contents of the
+        passed-in ``result`` (the caller's reference stays valid), and a
+        fresh authenticated session is provisioned for the active pass —
+        sessions do not survive the death of the crawling process.
         """
         report = ShadowCrawlReport()
-        baseline_ids = set(result.comments)
+        stage = _PASSES[0][0]
+        page_index = 0
+        baseline_ids: set[str] | None = None
+        url_ids: list[str] | None = None
+        found_counts = {"nsfw": 0, "offensive": 0}
 
-        nsfw_token = self._app.create_session(nsfw=True, offensive=False)
-        report.nsfw_found = self._crawl_pass(
-            result, nsfw_token, "nsfw", baseline_ids
-        )
-        offensive_token = self._app.create_session(nsfw=False, offensive=True)
-        report.offensive_found = self._crawl_pass(
-            result, offensive_token, "offensive", baseline_ids
-        )
-        report.pages_recrawled = 2 * len(result.urls)
+        if resume is not None:
+            checkpoint = coerce_checkpoint(resume, "shadow")
+            pass_names = [name for name, _ in _PASSES] + ["done"]
+            if checkpoint.stage not in pass_names:
+                raise ValueError(
+                    f"cannot resume shadow crawl from stage "
+                    f"{checkpoint.stage!r}"
+                )
+            stage = checkpoint.stage
+            cursor = checkpoint.cursor
+            page_index = int(cursor.get("page_index", 0))
+            baseline_ids = set(cursor.get("baseline_ids", []))
+            url_ids = list(cursor.get("url_ids", []))
+            found_counts.update(cursor.get("found", {}))
+            if checkpoint.result is not None:
+                restored = checkpoint.result
+                result.users = restored.users
+                result.urls = restored.urls
+                result.comments = restored.comments
+            if checkpoint.cookies is not None:
+                self._client.cookies = CookieJar.from_state(checkpoint.cookies)
+
+        if baseline_ids is None:
+            baseline_ids = set(result.comments)
+        if url_ids is None:
+            url_ids = list(result.urls)
+
+        if checkpointer is not None:
+            checkpointer.set_provider(
+                lambda: CrawlCheckpoint(
+                    crawler="shadow",
+                    stage=stage,
+                    cursor={
+                        "page_index": page_index,
+                        "baseline_ids": sorted(baseline_ids),
+                        "url_ids": url_ids,
+                        "found": dict(found_counts),
+                    },
+                    result=result,
+                    cookies=self._client.cookies.to_state(),
+                ).to_payload()
+            )
+
+        pass_order = [name for name, _ in _PASSES]
+        for position, (label, filters) in enumerate(_PASSES):
+            if stage == "done" or pass_order.index(stage) > position:
+                continue   # this pass completed before the checkpoint
+            token = self._app.create_session(**filters)
+            self._client.cookies.set_simple("session", token, "dissenter.com")
+            while page_index < len(url_ids):
+                found_counts[label] += self._label_page(
+                    result, url_ids[page_index], label, baseline_ids
+                )
+                page_index += 1
+                if checkpointer is not None:
+                    checkpointer.tick()
+            self._client.cookies.clear("dissenter.com")
+            page_index = 0
+            stage = (
+                pass_order[position + 1]
+                if position + 1 < len(pass_order)
+                else "done"
+            )
+            if checkpointer is not None:
+                checkpointer.flush()
+
+        report.nsfw_found = found_counts["nsfw"]
+        report.offensive_found = found_counts["offensive"]
+        report.pages_recrawled = 2 * len(url_ids)
         return report
 
     def verify_sample(

@@ -18,7 +18,10 @@ from typing import Iterable, Mapping
 
 import networkx as nx
 
+from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
+from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
 from repro.net.ratelimit import HeaderRateLimiter
 
 __all__ = ["SocialCrawlResult", "SocialGraphCrawler", "induce_dissenter_graph"]
@@ -33,6 +36,33 @@ class SocialCrawlResult:
     requests_made: int = 0
     seconds_waited: float = 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (JSON object keys must be strings)."""
+        return {
+            "followers": {str(k): v for k, v in self.followers.items()},
+            "following": {str(k): v for k, v in self.following.items()},
+            "requests_made": self.requests_made,
+            "seconds_waited": self.seconds_waited,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SocialCrawlResult":
+        try:
+            return cls(
+                followers={
+                    int(k): [int(x) for x in v]
+                    for k, v in (payload.get("followers") or {}).items()
+                },
+                following={
+                    int(k): [int(x) for x in v]
+                    for k, v in (payload.get("following") or {}).items()
+                },
+                requests_made=int(payload.get("requests_made", 0)),
+                seconds_waited=float(payload.get("seconds_waited", 0.0)),
+            )
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ValueError(f"malformed social crawl state: {exc!r}") from exc
+
 
 class SocialGraphCrawler:
     """Walks the paginated Gab relationship API."""
@@ -45,7 +75,12 @@ class SocialGraphCrawler:
             client.clock, floor_interval=floor_interval
         )
 
-    def _paged_ids(self, gab_id: int, relation: str) -> list[int]:
+    def _paged_ids(
+        self,
+        gab_id: int,
+        relation: str,
+        checkpointer: Checkpointer | None = None,
+    ) -> list[int]:
         collected: list[int] = []
         page = 1
         while True:
@@ -53,6 +88,11 @@ class SocialGraphCrawler:
             response = self._client.get_or_none(
                 f"{self.BASE}/{gab_id}/{relation}", params={"page": page}
             )
+            if checkpointer is not None:
+                # The snapshot excludes the in-flight account, so a
+                # mid-pagination checkpoint stays consistent: resuming
+                # simply re-walks this account's pages.
+                checkpointer.tick()
             if response is None:
                 break
             self._limiter.after_response(response)
@@ -67,15 +107,68 @@ class SocialGraphCrawler:
             page += 1
         return collected
 
-    def crawl(self, gab_ids: Iterable[int]) -> SocialCrawlResult:
-        """Gather both relationship directions for every given account."""
+    def crawl(
+        self,
+        gab_ids: Iterable[int],
+        checkpointer: Checkpointer | None = None,
+        resume: CrawlCheckpoint | dict | None = None,
+    ) -> SocialCrawlResult:
+        """Gather both relationship directions for every given account.
+
+        With a ``checkpointer``, completed accounts are snapshotted
+        periodically; on ``resume`` the same account sequence must be
+        passed again — the saved cursor indexes into it, and accounts
+        whose lists are already complete are never re-walked.
+        """
+        gab_ids = list(gab_ids)
         result = SocialCrawlResult()
+        index = 0
+        stage = "relations"
+        if resume is not None:
+            checkpoint = coerce_checkpoint(resume, "social")
+            index = int(checkpoint.cursor.get("index", 0))
+            result = SocialCrawlResult.from_dict(
+                checkpoint.cursor.get("result") or {}
+            )
+            if checkpoint.cookies is not None:
+                self._client.cookies = CookieJar.from_state(checkpoint.cookies)
+        prior_requests = result.requests_made
+        prior_waited = result.seconds_waited
         before = self._client.stats.requests
-        for gab_id in gab_ids:
-            result.followers[gab_id] = self._paged_ids(gab_id, "followers")
-            result.following[gab_id] = self._paged_ids(gab_id, "following")
-        result.requests_made = self._client.stats.requests - before
-        result.seconds_waited = self._limiter.total_waited
+
+        if checkpointer is not None:
+            checkpointer.set_provider(
+                lambda: CrawlCheckpoint(
+                    crawler="social",
+                    stage=stage,
+                    cursor={
+                        "index": index,
+                        "result": {
+                            **result.to_dict(),
+                            "requests_made": prior_requests
+                            + (self._client.stats.requests - before),
+                            "seconds_waited": prior_waited
+                            + self._limiter.total_waited,
+                        },
+                    },
+                    cookies=self._client.cookies.to_state(),
+                ).to_payload()
+            )
+
+        while index < len(gab_ids):
+            gab_id = gab_ids[index]
+            followers = self._paged_ids(gab_id, "followers", checkpointer)
+            following = self._paged_ids(gab_id, "following", checkpointer)
+            result.followers[gab_id] = followers
+            result.following[gab_id] = following
+            index += 1
+        result.requests_made = prior_requests + (
+            self._client.stats.requests - before
+        )
+        result.seconds_waited = prior_waited + self._limiter.total_waited
+        stage = "done"
+        if checkpointer is not None:
+            checkpointer.flush()
         return result
 
 

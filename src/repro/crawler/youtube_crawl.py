@@ -10,13 +10,16 @@ page, follows youtu.be redirects, and executes the extraction against the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Iterable
 from urllib.parse import urlsplit
 
+from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
 from repro.crawler.parsing import parse_youtube_page
 from repro.crawler.records import CrawledYouTubeItem
+from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
+from repro.net.cookies import CookieJar
 
 __all__ = ["YouTubeCrawler", "YouTubeCrawlResult", "is_youtube_url"]
 
@@ -46,6 +49,35 @@ class YouTubeCrawlResult:
             counts[item.status] = counts.get(item.status, 0) + 1
         return counts
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (checkpointing)."""
+        return {
+            "items": {url: asdict(item) for url, item in self.items.items()},
+            "fetch_failures": list(self.fetch_failures),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "YouTubeCrawlResult":
+        try:
+            return cls(
+                items={
+                    url: CrawledYouTubeItem(
+                        url=entry["url"],
+                        kind=entry["kind"],
+                        status=entry["status"],
+                        title=entry.get("title", ""),
+                        owner=entry.get("owner", ""),
+                        comments_disabled=bool(
+                            entry.get("comments_disabled", False)
+                        ),
+                    )
+                    for url, entry in (payload.get("items") or {}).items()
+                },
+                fetch_failures=list(payload.get("fetch_failures", [])),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(f"malformed YouTube crawl state: {exc!r}") from exc
+
 
 class YouTubeCrawler:
     """Fetch-and-render crawler for YouTube URLs."""
@@ -64,15 +96,56 @@ class YouTubeCrawler:
         item = parse_youtube_page(url, response.text)
         return item
 
-    def crawl(self, urls: Iterable[str]) -> YouTubeCrawlResult:
-        """Render every YouTube URL in the iterable."""
+    def crawl(
+        self,
+        urls: Iterable[str],
+        checkpointer: Checkpointer | None = None,
+        resume: CrawlCheckpoint | dict | None = None,
+    ) -> YouTubeCrawlResult:
+        """Render every YouTube URL in the iterable.
+
+        With a ``checkpointer``, progress is snapshotted periodically;
+        on ``resume`` the same URL sequence must be passed again — the
+        saved cursor indexes into it and already-rendered URLs are never
+        re-fetched.
+        """
+        urls = list(urls)
         result = YouTubeCrawlResult()
-        for url in urls:
-            if not is_youtube_url(url):
-                continue
-            item = self.render(url)
-            if item is None:
-                result.fetch_failures.append(url)
-                continue
-            result.items[url] = item
+        index = 0
+        stage = "render"
+        if resume is not None:
+            checkpoint = coerce_checkpoint(resume, "youtube")
+            index = int(checkpoint.cursor.get("index", 0))
+            result = YouTubeCrawlResult.from_dict(
+                checkpoint.cursor.get("result") or {}
+            )
+            if checkpoint.cookies is not None:
+                self._client.cookies = CookieJar.from_state(checkpoint.cookies)
+
+        if checkpointer is not None:
+            checkpointer.set_provider(
+                lambda: CrawlCheckpoint(
+                    crawler="youtube",
+                    stage=stage,
+                    cursor={"index": index, "result": result.to_dict()},
+                    cookies=self._client.cookies.to_state(),
+                ).to_payload()
+            )
+
+        while index < len(urls):
+            url = urls[index]
+            requested = False
+            if is_youtube_url(url):
+                requested = True
+                item = self.render(url)
+                if item is None:
+                    result.fetch_failures.append(url)
+                else:
+                    result.items[url] = item
+            index += 1
+            if requested and checkpointer is not None:
+                checkpointer.tick()
+        stage = "done"
+        if checkpointer is not None:
+            checkpointer.flush()
         return result

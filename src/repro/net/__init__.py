@@ -18,6 +18,7 @@ from repro.net.client import ClientStats, HttpClient
 from repro.net.cookies import Cookie, CookieJar
 from repro.net.errors import (
     ConnectError,
+    CrawlKilled,
     HTTPStatusError,
     NetworkError,
     RateLimitExceeded,
@@ -38,6 +39,7 @@ __all__ = [
     "ClientStats",
     "ConnectError",
     "Cookie",
+    "CrawlKilled",
     "CookieJar",
     "FaultPlan",
     "HTTPStatusError",

@@ -181,7 +181,10 @@ class HttpClient:
                 raise TooManyRedirects(url, self._max_redirects)
             self.stats.redirects_followed += 1
             target = response.redirect_target()
-            request = self._build_request("GET", target, None, headers, b"")
+            # A redirect-followed request is a *fresh* GET: replaying the
+            # caller's original headers would leak request-specific fields
+            # (a POST's Content-Type, conditional headers) onto it.
+            request = self._build_request("GET", target, None, None, b"")
             response = self._send_with_retries(request)
         return response
 

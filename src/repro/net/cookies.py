@@ -92,6 +92,40 @@ class CookieJar:
         for value in set_cookie_values:
             self.set(parse_set_cookie(value, default_domain=host))
 
+    def to_state(self) -> list[dict]:
+        """Snapshot the jar as a JSON-serialisable list (checkpointing)."""
+        return [
+            {
+                "name": cookie.name,
+                "value": cookie.value,
+                "domain": cookie.domain,
+                "path": cookie.path,
+            }
+            for cookie in self._cookies.values()
+        ]
+
+    @classmethod
+    def from_state(cls, state: list[dict]) -> "CookieJar":
+        """Rebuild a jar from :meth:`to_state` output.
+
+        Raises:
+            ValueError: the state list is malformed.
+        """
+        jar = cls()
+        try:
+            for entry in state:
+                jar.set(
+                    Cookie(
+                        name=entry["name"],
+                        value=entry["value"],
+                        domain=entry["domain"],
+                        path=entry.get("path", "/"),
+                    )
+                )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed cookie-jar state: {exc!r}") from exc
+        return jar
+
     def cookie_header_for(self, url: str) -> str | None:
         """Assemble the Cookie header for a request URL, or None."""
         parts = urlsplit(url)

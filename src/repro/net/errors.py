@@ -10,6 +10,7 @@ from __future__ import annotations
 
 __all__ = [
     "ConnectError",
+    "CrawlKilled",
     "HTTPStatusError",
     "NetworkError",
     "RateLimitExceeded",
@@ -20,6 +21,21 @@ __all__ = [
 
 class NetworkError(Exception):
     """Base class for all substrate errors."""
+
+
+class CrawlKilled(RuntimeError):
+    """Injected process death (the "die after K requests" test switch).
+
+    Deliberately *not* a :class:`NetworkError`: retry loops and
+    ``get_or_none`` must not swallow it — it models the whole process
+    dying, and the only recovery is resuming from the last checkpoint.
+    """
+
+    def __init__(self, requests_served: int):
+        super().__init__(
+            f"crawl killed by injector after {requests_served} requests"
+        )
+        self.requests_served = requests_served
 
 
 class ConnectError(NetworkError):

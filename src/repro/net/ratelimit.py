@@ -70,7 +70,10 @@ class TokenBucket:
         if waited > 0:
             self._clock.sleep(waited)
             self._refill()
-        self._tokens -= tokens
+        # The post-sleep refill computes elapsed * rate in floats; when
+        # that rounds just below the deficit the balance would go (and
+        # stay) negative, silently over-throttling every later acquire.
+        self._tokens = max(0.0, self._tokens - tokens)
         return waited
 
 

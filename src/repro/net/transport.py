@@ -16,7 +16,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.net.clock import Clock, VirtualClock
-from repro.net.errors import ConnectError, TimeoutError
+from repro.net.errors import ConnectError, CrawlKilled, TimeoutError
 from repro.net.http import Request, Response
 
 __all__ = ["FaultPlan", "LoopbackTransport", "Transport"]
@@ -77,12 +77,26 @@ class LoopbackTransport:
         self._rng = np.random.default_rng(seed)
         self._origins: dict[str, object] = {}
         self._fault_counts: dict[str, int] = {}
+        self._kill_remaining: int | None = None
         self.requests_served = 0
+        self.requests_attempted = 0
         self.faults_injected = 0
 
     def register(self, app) -> None:
         """Register an origin App; its ``host`` becomes routable."""
         self._origins[app.host] = app
+
+    def kill_after(self, remaining: int | None) -> None:
+        """Arm the die-after-K injector (None disarms).
+
+        After ``remaining`` more send attempts, every subsequent send
+        raises :class:`CrawlKilled` — simulating the crawling process
+        dying mid-flight so checkpoint/resume paths can be exercised at
+        an arbitrary request boundary.
+        """
+        if remaining is not None and remaining < 0:
+            raise ValueError("remaining must be >= 0")
+        self._kill_remaining = remaining
 
     def hosts(self) -> list[str]:
         return sorted(self._origins)
@@ -114,7 +128,13 @@ class LoopbackTransport:
         Raises:
             ConnectError: no origin registered for the host.
             TimeoutError: injected timeout (per the fault plan).
+            CrawlKilled: the die-after-K injector fired.
         """
+        if self._kill_remaining is not None:
+            if self._kill_remaining <= 0:
+                raise CrawlKilled(self.requests_attempted)
+            self._kill_remaining -= 1
+        self.requests_attempted += 1
         host = request.host
         app = self._origins.get(host)
         if app is None:

@@ -88,6 +88,46 @@ class TestCliExecution:
         corpus = load_result(out_file)
         assert corpus.summary()["comments"] > 0
 
+    def test_crawl_kill_and_resume_round_trip(self, tmp_path, capsys):
+        """CLI crash-safety: crawl → die-after-K (exit 3) → crawl --resume
+        must finish with a corpus identical to an uninterrupted crawl."""
+        from repro.cli import EXIT_KILLED
+        from repro.crawler.checkpoint import load_result, result_to_payload
+
+        reference = tmp_path / "reference.json"
+        assert main([
+            "crawl", "--scale", "0.001", "--seed", "3",
+            "--out", str(reference),
+        ]) == 0
+
+        out_file = tmp_path / "crawl.json"
+        state_file = tmp_path / "crawl.json.state.json"
+        exit_code = main([
+            "crawl", "--scale", "0.001", "--seed", "3",
+            "--out", str(out_file),
+            "--checkpoint-every", "5", "--die-after", "120",
+        ])
+        assert exit_code == EXIT_KILLED
+        assert state_file.exists()
+        assert not out_file.exists()
+
+        exit_code = main([
+            "crawl", "--scale", "0.001", "--seed", "3",
+            "--out", str(out_file), "--resume",
+        ])
+        assert exit_code == 0
+        assert not state_file.exists()      # superseded by the corpus
+        assert result_to_payload(load_result(out_file)) == (
+            result_to_payload(load_result(reference))
+        )
+
+    def test_crawl_resume_without_state_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "crawl", "--scale", "0.001", "--seed", "3",
+                "--out", str(tmp_path / "x.json"), "--resume",
+            ])
+
     def test_run_command_small(self, tmp_path, capsys):
         report_file = tmp_path / "report.txt"
         exit_code = main([

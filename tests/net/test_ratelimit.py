@@ -50,6 +50,36 @@ class TestTokenBucket:
             TokenBucket(rate=1, capacity=0, clock=clock)
 
 
+class TestTokenBucketFloatDrift:
+    """Regression: the post-sleep refill computes ``elapsed * rate`` in
+    floats; when that rounds just below the deficit, the balance used to
+    go (and stay) negative, silently over-throttling every later acquire.
+    ``acquire`` must clamp the balance at zero."""
+
+    def test_balance_never_negative_under_fractional_load(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=0.1, capacity=1.0, clock=clock)
+        for _ in range(200):
+            bucket.acquire(0.1)
+            assert bucket._tokens >= 0.0
+
+    def test_adversarial_token_sizes(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=0.07, capacity=0.7, clock=clock)
+        for tokens in (0.7, 0.07, 0.07 * 3, 0.49, 0.07 * 7, 0.63):
+            bucket.acquire(tokens)
+            assert bucket._tokens >= 0.0
+
+    def test_no_cumulative_over_throttling(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1 / 3, capacity=1.0, clock=clock)
+        bucket.acquire()                     # burst token
+        waits = [bucket.acquire() for _ in range(50)]
+        # Steady state is one refill period per acquire; a drifting
+        # negative balance would make the waits creep past it instead.
+        assert max(waits) <= 3.0 + 1e-9
+
+
 class TestKeyedRateLimiter:
     def test_per_key_isolation(self):
         """The paper's observation: a per-URL limit never binds a

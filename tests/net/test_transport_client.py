@@ -48,6 +48,20 @@ def _make_app() -> App:
     def files(request, params):
         return Response.html(f"<p>{params['path']}</p>")
 
+    @app.get("/jump")
+    def jump(request, params):
+        return Response.redirect("/landing")
+
+    @app.post("/submit")
+    def submit(request, params):
+        return Response.redirect("/landing")
+
+    @app.get("/landing")
+    def landing(request, params):
+        return Response.json_response(
+            {"method": request.method, "headers": dict(request.headers)}
+        )
+
     return app
 
 
@@ -101,6 +115,43 @@ class TestRedirects:
         _, _, client = stack
         r = client.get("https://test.example/chain/1", follow_redirects=False)
         assert r.status == 302
+
+    def test_redirect_does_not_replay_caller_headers(self, stack):
+        """Regression: the redirect-followed request must be a fresh GET —
+        replaying the caller's request-specific headers (conditional
+        headers, a POST's Content-Type) leaks them onto the new URL."""
+        _, _, client = stack
+        r = client.get(
+            "https://test.example/jump",
+            headers={"If-None-Match": '"etag"', "X-Caller": "secret"},
+        )
+        landed = r.json()["headers"]
+        assert "If-None-Match" not in landed
+        assert "X-Caller" not in landed
+        assert "User-Agent" in landed          # defaults are rebuilt
+
+    def test_post_redirect_becomes_get(self, stack):
+        _, _, client = stack
+        r = client.post(
+            "https://test.example/submit",
+            body=b"payload",
+            headers={"Content-Type": "application/json"},
+        )
+        landed = r.json()
+        assert landed["method"] == "GET"
+        assert "Content-Type" not in landed["headers"]
+
+    def test_redirect_still_sends_cookies(self, stack):
+        """The rebuilt request must keep jar cookies (sessions span
+        redirects) while dropping the caller's one-off headers."""
+        _, _, client = stack
+        client.get("https://test.example/cookie")
+        r = client.get(
+            "https://test.example/jump", headers={"X-Caller": "secret"}
+        )
+        landed = r.json()["headers"]
+        assert landed.get("Cookie") == "sid=abc"
+        assert "X-Caller" not in landed
 
 
 class TestCookiesIntegration:
