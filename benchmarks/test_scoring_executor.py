@@ -1,0 +1,99 @@
+"""R3 — Scoring executor reuse: persistent pool vs per-batch spin-up.
+
+``ScoreStore.score_many`` used to build a fresh ``ThreadPoolExecutor``
+for every batch; under the streaming crawl the scoring layer sees many
+small batches, so thread creation/teardown became a fixed tax per batch.
+The store now keeps one lazily-built executor for its lifetime.  This
+bench measures the tax that removes — results are asserted identical —
+and appends the figures to the single-pass scoring record.
+"""
+
+import time
+
+from benchmarks._report import RESULTS_DIR, record, row
+from repro.core.scoring import ScoreStore
+from repro.perspective.models import PerspectiveModels
+
+BATCHES = 150
+BATCH_SIZE = 24
+WORKERS = 4
+
+
+def _batches():
+    # Identical batches for both stores: each store has its own memo
+    # cache, so both score every text, and scoring is a pure function of
+    # the text — results must match exactly.
+    return [
+        [f"sample text {batch}-{i}" for i in range(BATCH_SIZE)]
+        for batch in range(BATCHES)
+    ]
+
+
+def test_persistent_executor_removes_per_batch_spinup():
+    models = PerspectiveModels()
+
+    # Old behaviour, replicated: tear the pool down after every batch so
+    # score_many must rebuild it (exactly the per-batch `with
+    # ThreadPoolExecutor(...)` the refactor removed).
+    fresh_store = ScoreStore(models=models, workers=WORKERS)
+    t0 = time.perf_counter()
+    fresh_results = []
+    for batch in _batches():
+        fresh_results.append(fresh_store.score_many(batch))
+        fresh_store.close()
+    fresh_seconds = time.perf_counter() - t0
+
+    persistent_store = ScoreStore(models=models, workers=WORKERS)
+    t0 = time.perf_counter()
+    persistent_results = []
+    for batch in _batches():
+        persistent_results.append(persistent_store.score_many(batch))
+    persistent_seconds = time.perf_counter() - t0
+    persistent_store.close()
+
+    per_batch_us = (
+        (fresh_seconds - persistent_seconds) / BATCHES
+    ) * 1e6
+
+    lines = [
+        row("batches x texts", "-", f"{BATCHES} x {BATCH_SIZE}"),
+        row("per-batch executors (old)", "-", f"{fresh_seconds:.3f} s"),
+        row("persistent executor (new)", "<= old",
+            f"{persistent_seconds:.3f} s "
+            f"({fresh_seconds / persistent_seconds:.2f}x)"),
+        row("spin-up tax removed per batch", "-", f"{per_batch_us:.0f} us"),
+    ]
+    record("scoring_executor_reuse",
+           "R3 — persistent scoring executor vs per-batch spin-up", lines)
+
+    # Keep the single-pass scoring record's story complete: append the
+    # executor-reuse figures to it (record() overwrites, so append here).
+    target = RESULTS_DIR / "scoring_singlepass.txt"
+    if target.exists():
+        body = target.read_text(encoding="utf-8")
+        marker = "Persistent executor (PR 3)"
+        if marker not in body:
+            section = "\n".join([
+                "",
+                marker,
+                "-" * len(marker),
+                f"score_many now reuses one lazily-built {WORKERS}-worker "
+                "executor instead of",
+                "spinning a fresh ThreadPoolExecutor per batch "
+                f"({BATCHES} batches x {BATCH_SIZE} texts):",
+                f"  per-batch executors : {fresh_seconds:.3f}s",
+                f"  persistent executor : {persistent_seconds:.3f}s  "
+                f"({fresh_seconds / persistent_seconds:.2f}x, "
+                f"~{per_batch_us:.0f}us spin-up tax removed per batch)",
+                "Scores are asserted identical; the executor is rebuilt "
+                "only when the",
+                "requested worker count changes, and close() tears it "
+                "down explicitly.",
+                "",
+            ])
+            target.write_text(body + section, encoding="utf-8")
+
+    # Identical scores, and strictly less overhead (allow scheduler
+    # noise: the persistent pool must at least not be slower).
+    assert fresh_results == persistent_results
+    assert persistent_seconds <= fresh_seconds * 1.05

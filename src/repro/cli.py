@@ -32,6 +32,20 @@ __all__ = ["build_parser", "main"]
 EXIT_KILLED = 3   # the --die-after injector fired; state file holds progress
 
 
+def _add_crawl_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Fetch-engine options shared by ``run`` and ``crawl``."""
+    parser.add_argument(
+        "--connections", type=int, default=1, metavar="K",
+        help="simulated concurrent connections for the crawl stages "
+             "(default 1 = sequential; corpus, stats and checkpoints are "
+             "bit-identical at any K — only the simulated crawl duration "
+             "shrinks, to the makespan over K connections)")
+    parser.add_argument(
+        "--parse-workers", type=int, default=0, metavar="W",
+        help="worker threads for off-loading page parsing during the "
+             "crawl (0 = parse inline; results identical at any W)")
+
+
 def _add_resume_flags(parser: argparse.ArgumentParser) -> None:
     """Checkpoint/resume options shared by ``run`` and ``crawl``."""
     parser.add_argument(
@@ -105,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the text report to this file")
     run.add_argument("--with-faults", action="store_true",
                      help="inject transport faults (exercises retries)")
+    _add_crawl_engine_flags(run)
     _add_resume_flags(run)
 
     crawl = sub.add_parser("crawl", help="collection stages only")
@@ -114,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint file to write")
     crawl.add_argument("--with-faults", action="store_true",
                        help="inject transport faults (exercises retries)")
+    _add_crawl_engine_flags(crawl)
     _add_resume_flags(crawl)
 
     score = sub.add_parser("score", help="score comment text")
@@ -140,7 +156,11 @@ def _config(args: argparse.Namespace) -> WorldConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     pipeline = ReproductionPipeline(
-        _config(args), with_faults=args.with_faults, workers=args.workers
+        _config(args),
+        with_faults=args.with_faults,
+        workers=args.workers,
+        connections=args.connections,
+        parse_workers=args.parse_workers,
     )
     print(f"world: {pipeline.world.summary()}", file=sys.stderr)
     default_state = Path(
@@ -170,7 +190,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
     pipeline = ReproductionPipeline(
-        _config(args), with_faults=args.with_faults
+        _config(args),
+        with_faults=args.with_faults,
+        connections=args.connections,
+        parse_workers=args.parse_workers,
     )
     default_state = Path(str(args.out) + ".state.json")
     checkpointer, resume_payload = _build_runtime(args, pipeline, default_state)
@@ -191,6 +214,10 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     print(f"crawled {corpus.summary()} "
           f"({pipeline.client.stats.requests} HTTP requests, "
           f"{pipeline.client.stats.timeouts} timeouts retried)")
+    simulated = getattr(pipeline.client.clock, "total_slept", None)
+    if simulated is not None:
+        print(f"simulated crawl duration: {simulated:.1f}s "
+              f"over {args.connections} connection(s)")
     print(f"checkpoint written to {args.out}")
     return 0
 

@@ -77,6 +77,7 @@ from repro.crawler.youtube_crawl import (
     is_youtube_url,
 )
 from repro.net.client import HttpClient
+from repro.net.pool import FetchPool
 from repro.perspective.models import PerspectiveModels
 from repro.platform.apps import Origins, build_origins
 from repro.platform.config import WorldConfig
@@ -185,6 +186,11 @@ class ReproductionPipeline:
         with_faults: inject transport faults to exercise retry paths.
         workers: thread-pool size for the scoring pass (0 = serial);
             results are bit-identical regardless of worker count.
+        connections: simulated concurrent connections for every §3
+            crawl stage (1 = the historical sequential crawl); corpus,
+            stats and checkpoints are bit-identical at any value.
+        parse_workers: thread-pool size for off-loading pure page
+            parsing during the crawl (0 = parse inline).
     """
 
     def __init__(
@@ -193,6 +199,8 @@ class ReproductionPipeline:
         world: World | None = None,
         with_faults: bool = False,
         workers: int = 0,
+        connections: int = 1,
+        parse_workers: int = 0,
     ):
         self.world = world or build_world(config)
         self.origins: Origins = build_origins(
@@ -201,6 +209,30 @@ class ReproductionPipeline:
         self.client = HttpClient(self.origins.transport)
         self.models = PerspectiveModels()
         self.store = ScoreStore(self.models, workers=workers)
+        self.connections = int(connections)
+        self.parse_workers = int(parse_workers)
+        self._pools: dict[str, FetchPool] = {}
+
+    def _pool_for(self, stage: str) -> FetchPool:
+        """A fresh fetch pool for one §3 stage (kept for its counters)."""
+        pool = FetchPool(
+            self.client.clock, self.connections, self.parse_workers
+        )
+        old = self._pools.get(stage)
+        if old is not None:
+            old.close()
+        self._pools[stage] = pool
+        return pool
+
+    def fetch_extras(self) -> dict[str, dict]:
+        """Per-stage fetch-engine counters (jobs, high-watermark, makespan)."""
+        return {
+            stage: pool.stats.as_dict() for stage, pool in self._pools.items()
+        }
+
+    def close_pools(self) -> None:
+        for pool in self._pools.values():
+            pool.close()
 
     # ------------------------------------------------------------------
     # Crawl stages (each usable on its own).
@@ -216,14 +248,17 @@ class ReproductionPipeline:
             max_id=self.world.gab.max_id,
             checkpointer=checkpointer,
             resume=resume,
+            pool=self._pool_for("gab_enum"),
         )
 
     def crawl_dissenter(
         self, usernames: list[str]
     ) -> tuple[CrawlResult, DissenterCrawler]:
         crawler = DissenterCrawler(self.client)
-        detected = crawler.detect_accounts(usernames)
-        corpus = crawler.crawl(detected)
+        detected = crawler.detect_accounts(
+            usernames, pool=self._pool_for("dissenter_detect")
+        )
+        corpus = crawler.crawl(detected, pool=self._pool_for("dissenter_crawl"))
         while crawler.stats.comment_pages_failed:
             if crawler.recrawl_failures(corpus) == 0:
                 break
@@ -231,7 +266,7 @@ class ReproductionPipeline:
 
     def uncover_shadow(self, corpus: CrawlResult) -> ShadowCrawler:
         shadow = ShadowCrawler(self.client, self.origins.dissenter)
-        shadow.uncover(corpus)
+        shadow.uncover(corpus, pool=self._pool_for("shadow"))
         return shadow
 
     def validate(
@@ -248,7 +283,7 @@ class ReproductionPipeline:
     def crawl_youtube(self, corpus: CrawlResult) -> YouTubeCrawlResult:
         crawler = YouTubeCrawler(self.client)
         urls = [u.url for u in corpus.urls.values() if is_youtube_url(u.url)]
-        return crawler.crawl(urls)
+        return crawler.crawl(urls, pool=self._pool_for("youtube"))
 
     def crawl_social(self, corpus: CrawlResult, gab_enum: GabEnumerationResult):
         gab_ids = {
@@ -261,7 +296,7 @@ class ReproductionPipeline:
             if u.username in gab_ids
         ]
         crawler = SocialGraphCrawler(self.client, floor_interval=0.0)
-        raw = crawler.crawl(active_ids)
+        raw = crawler.crawl(active_ids, pool=self._pool_for("social"))
         return induce_dissenter_graph(raw, active_ids), active_ids, gab_ids
 
     def match_reddit(self, corpus: CrawlResult) -> RedditMatchResult:
@@ -339,7 +374,10 @@ class ReproductionPipeline:
         crawler = DissenterCrawler(self.client)
         if stage == "dissenter_detect":
             detected = crawler.detect_accounts(
-                gab_enum.usernames(), checkpointer=checkpointer, resume=active
+                gab_enum.usernames(),
+                checkpointer=checkpointer,
+                resume=active,
+                pool=self._pool_for("dissenter_detect"),
             )
             artifacts["detected"] = detected
             advance("dissenter_crawl")
@@ -349,7 +387,10 @@ class ReproductionPipeline:
         # ---- §3.1-3.2: the Dissenter spider -------------------------
         if stage == "dissenter_crawl":
             corpus = crawler.crawl(
-                detected, checkpointer=checkpointer, resume=active
+                detected,
+                checkpointer=checkpointer,
+                resume=active,
+                pool=self._pool_for("dissenter_crawl"),
             )
             # §3.2's re-request loop: idempotent, so it is simply re-run
             # if a resume lands between the crawl and its completion.
@@ -365,7 +406,10 @@ class ReproductionPipeline:
         shadow_crawler = ShadowCrawler(self.client, self.origins.dissenter)
         if stage == "shadow":
             shadow_crawler.uncover(
-                corpus, checkpointer=checkpointer, resume=active
+                corpus,
+                checkpointer=checkpointer,
+                resume=active,
+                pool=self._pool_for("shadow"),
             )
             artifacts["corpus"] = result_to_payload(corpus)
             advance("youtube")
@@ -374,7 +418,10 @@ class ReproductionPipeline:
         yt_urls = [u.url for u in corpus.urls.values() if is_youtube_url(u.url)]
         if stage == "youtube":
             youtube_crawl = YouTubeCrawler(self.client).crawl(
-                yt_urls, checkpointer=checkpointer, resume=active
+                yt_urls,
+                checkpointer=checkpointer,
+                resume=active,
+                pool=self._pool_for("youtube"),
             )
             artifacts["youtube"] = youtube_crawl.to_dict()
             advance("social")
@@ -393,7 +440,10 @@ class ReproductionPipeline:
         if stage == "social":
             social_crawler = SocialGraphCrawler(self.client, floor_interval=0.0)
             raw_social = social_crawler.crawl(
-                active_ids, checkpointer=checkpointer, resume=active
+                active_ids,
+                checkpointer=checkpointer,
+                resume=active,
+                pool=self._pool_for("social"),
             )
             artifacts["social"] = raw_social.to_dict()
             advance("tail")
@@ -516,4 +566,10 @@ class ReproductionPipeline:
             "analyze": t3 - t2,
         }
         report.extras["scoring"] = self.store.counters.as_dict()
+        report.extras["connections"] = self.connections
+        report.extras["fetch"] = self.fetch_extras()
+        simulated = getattr(self.client.clock, "total_slept", None)
+        if simulated is not None:
+            report.extras["simulated_seconds"] = simulated
+        self.close_pools()
         return report

@@ -88,6 +88,8 @@ class ScoreStore:
         self._models = models or PerspectiveModels()
         self._dictionary = dictionary
         self.workers = int(workers)
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_size = 0
         self._scores: dict[str, dict[str, float]] = {}
         self._dict_ratios: dict[str, float] = {}
         self._svm_scores: dict[str, float] = {}
@@ -97,6 +99,34 @@ class ScoreStore:
     @property
     def models(self) -> PerspectiveModels:
         return self._models
+
+    def close(self) -> None:
+        """Shut down the persistent scoring executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_size = 0
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _pool(self, size: int) -> ThreadPoolExecutor:
+        """The store's persistent executor, (re)built lazily per size.
+
+        Spinning a fresh pool per batch costs thread creation/teardown
+        on every ``score_many`` call; reusing one across batches is what
+        the scoring benchmark measures.
+        """
+        if self._executor is None or self._executor_size != size:
+            self.close()
+            self._executor = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="scorestore"
+            )
+            self._executor_size = size
+        return self._executor
 
     def __len__(self) -> int:
         return len(self._scores)
@@ -137,8 +167,8 @@ class ScoreStore:
         self.counters.misses += len(missing)
         if missing:
             if pool_size > 1:
-                with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                    computed = list(pool.map(self._models.score, missing))
+                pool = self._pool(pool_size)
+                computed = list(pool.map(self._models.score, missing))
             else:
                 computed = self._models.score_many(missing)
             for text, scores in zip(missing, computed):

@@ -23,6 +23,7 @@ skips all already-fetched work and continues from the cursor.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -37,6 +38,8 @@ from repro.crawler.records import CrawlResult
 from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
 from repro.net.cookies import CookieJar
+from repro.net.http import Response
+from repro.net.pool import FetchPool
 
 __all__ = ["DissenterCrawler", "SIZE_THRESHOLD"]
 
@@ -48,7 +51,11 @@ _CRAWL_STAGES = ("home_pages", "comment_pages", "metadata", "done")
 
 @dataclass
 class CrawlStats:
-    """Progress counters for one crawl."""
+    """Progress counters for one crawl.
+
+    Increment through :meth:`bump`/:meth:`record_failed` — they hold a
+    lock so counters stay exact if merge work ever runs off-thread.
+    """
 
     usernames_probed: int = 0
     accounts_detected: int = 0
@@ -56,6 +63,20 @@ class CrawlStats:
     comment_pages_parsed: int = 0
     comment_pages_failed: list[str] = field(default_factory=list)
     author_pages_visited: int = 0
+
+    def __post_init__(self) -> None:
+        # Not a dataclass field: locks aren't comparable or serialisable.
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically increment one of the integer counters by name."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def record_failed(self, commenturl_id: str) -> None:
+        """Atomically append to the failed-pages list."""
+        with self._lock:
+            self.comment_pages_failed.append(commenturl_id)
 
     def to_dict(self) -> dict:
         return {
@@ -106,6 +127,7 @@ class DissenterCrawler:
         usernames: Iterable[str],
         checkpointer: Checkpointer | None = None,
         resume: CrawlCheckpoint | dict | None = None,
+        pool: FetchPool | None = None,
     ) -> list[str]:
         """Return the subset of usernames that have Dissenter accounts.
 
@@ -141,18 +163,26 @@ class DissenterCrawler:
                 ).to_payload()
             )
 
-        while index < len(usernames):
-            username = usernames[index]
-            self.stats.usernames_probed += 1
-            response = self._client.get_or_none(
-                f"{self.BASE}/user/{username}"
+        if pool is None:
+            pool = FetchPool(self._client.clock)
+
+        def plan(capacity: int) -> list[int]:
+            return list(range(index, min(index + capacity, len(usernames))))
+
+        def fetch(position: int) -> Response | None:
+            return self._client.get_or_none(
+                f"{self.BASE}/user/{usernames[position]}"
             )
+
+        def process(position: int, response: Response | None) -> None:
+            nonlocal index
+            self.stats.bump("usernames_probed")
             if response is not None and response.size >= SIZE_THRESHOLD:
-                detected.append(username)
-                self.stats.accounts_detected += 1
-            index += 1
-            if checkpointer is not None:
-                checkpointer.tick()
+                detected.append(usernames[position])
+                self.stats.bump("accounts_detected")
+            index = position + 1
+
+        pool.run(plan, fetch, process, checkpointer=checkpointer)
         return detected
 
     # ------------------------------------------------------------------
@@ -164,6 +194,7 @@ class DissenterCrawler:
         usernames: Sequence[str],
         checkpointer: Checkpointer | None = None,
         resume: CrawlCheckpoint | dict | None = None,
+        pool: FetchPool | None = None,
     ) -> CrawlResult:
         """Crawl home pages, comment pages, and hidden author metadata.
 
@@ -215,34 +246,69 @@ class DissenterCrawler:
                 ).to_payload()
             )
 
+        if pool is None:
+            pool = FetchPool(self._client.clock)
+
         if stage == "home_pages":
-            while index < len(usernames):
-                username = usernames[index]
-                response = self._client.get_or_none(
-                    f"{self.BASE}/user/{username}"
+
+            def plan_home(capacity: int) -> list[int]:
+                return list(
+                    range(index, min(index + capacity, len(usernames)))
                 )
+
+            def fetch_home(position: int) -> Response | None:
+                return self._client.get_or_none(
+                    f"{self.BASE}/user/{usernames[position]}"
+                )
+
+            def parse_home(position: int, response: Response | None):
                 if (
                     response is not None
                     and response.status == 200
                     and response.size >= SIZE_THRESHOLD
                 ):
-                    user = parse_user_page(response.text)
-                    if user is not None:
-                        self.stats.home_pages_parsed += 1
-                        result.users[user.username] = user
-                        frontier.add_many(user.commented_url_ids)
-                index += 1
-                if checkpointer is not None:
-                    checkpointer.tick()
+                    return parse_user_page(response.text)
+                return None
+
+            def process_home(position: int, user) -> None:
+                nonlocal index
+                if user is not None:
+                    self.stats.bump("home_pages_parsed")
+                    result.users[user.username] = user
+                    frontier.add_many(user.commented_url_ids)
+                index = position + 1
+
+            pool.run(
+                plan_home, fetch_home, process_home,
+                parse=parse_home, checkpointer=checkpointer,
+            )
             stage = "comment_pages"
             if checkpointer is not None:
                 checkpointer.flush()
 
         if stage == "comment_pages":
-            for commenturl_id in frontier.drain():
-                self._fetch_comment_page(result, frontier, commenturl_id)
-                if checkpointer is not None:
-                    checkpointer.tick()
+
+            def fetch_page(commenturl_id: str) -> Response | None:
+                return self._client.get_or_none(
+                    f"{self.BASE}/discussion/{commenturl_id}"
+                )
+
+            def process_page(commenturl_id: str, outcome) -> None:
+                # The item is popped only now, at merge time: a
+                # mid-window checkpoint must still show it queued, and a
+                # 429 re-enqueues it behind the already-planned items —
+                # the same tail position a sequential crawl would use.
+                popped = frontier.pop()
+                assert popped == commenturl_id
+                self._merge_comment_page(result, frontier, commenturl_id, outcome)
+
+            pool.run(
+                lambda capacity: frontier.peek(capacity),
+                fetch_page,
+                process_page,
+                parse=lambda _id, response: self._comment_page_outcome(response),
+                checkpointer=checkpointer,
+            )
             stage = "metadata"
             if checkpointer is not None:
                 checkpointer.flush()
@@ -250,19 +316,93 @@ class DissenterCrawler:
         if stage == "metadata":
             users_by_author = result.users_by_author_id()
             comments = list(result.comments.values())
-            while meta_index < len(comments):
-                comment = comments[meta_index]
-                requested = self._mine_author_page(
-                    result, comment, users_by_author, visited_authors
+
+            def plan_meta(capacity: int) -> list[tuple[int, object]]:
+                # Walk forward from the merged cursor, simulating the
+                # sequential visited-set so the window never requests an
+                # author twice; each job carries the cursor value to
+                # install once it merges.
+                jobs: list[tuple[int, object]] = []
+                planned: set[str] = set()
+                position = meta_index
+                while position < len(comments) and len(jobs) < capacity:
+                    comment = comments[position]
+                    position += 1
+                    author_id = comment.author_id
+                    if author_id in visited_authors or author_id in planned:
+                        continue
+                    if users_by_author.get(author_id) is None:
+                        continue
+                    planned.add(author_id)
+                    jobs.append((position, comment))
+                return jobs
+
+            def fetch_meta(job: tuple[int, object]) -> Response | None:
+                _, comment = job
+                return self._client.get_or_none(
+                    f"{self.BASE}/comment/{comment.comment_id}"
                 )
-                meta_index += 1
-                if requested and checkpointer is not None:
-                    checkpointer.tick()
+
+            def process_meta(job: tuple[int, object], response) -> None:
+                nonlocal meta_index
+                meta_index_after, comment = job
+                visited_authors.add(comment.author_id)
+                self._merge_author_page(
+                    users_by_author[comment.author_id], response
+                )
+                meta_index = meta_index_after
+
+            pool.run(
+                plan_meta, fetch_meta, process_meta, checkpointer=checkpointer
+            )
+            meta_index = len(comments)
             stage = "done"
             if checkpointer is not None:
                 checkpointer.flush()
 
         return result
+
+    @staticmethod
+    def _comment_page_outcome(response: Response | None):
+        """Pure classify-and-parse of a discussion-page response.
+
+        Returns ``("rate_limited", None)``, ``("failed", None)``, or
+        ``("ok", (url, comments))`` — safe to run on a parse worker.
+        """
+        if response is None or response.status != 200:
+            if response is not None and response.status == 429:
+                return ("rate_limited", None)
+            return ("failed", None)
+        url, comments = parse_comment_page(response.text)
+        if url is None:
+            return ("failed", None)
+        return ("ok", (url, comments))
+
+    def _merge_comment_page(
+        self,
+        result: CrawlResult,
+        frontier: CrawlFrontier[str],
+        commenturl_id: str,
+        outcome,
+    ) -> None:
+        """Merge one discussion page's outcome (stage 3 unit of work)."""
+        kind, payload = outcome
+        if kind == "rate_limited":
+            # Retry through the frontier; once the retry budget is
+            # spent the page must still be accounted as failed, or
+            # recrawl_failures() and the validation report would
+            # silently undercount missing pages.
+            if not frontier.fail(commenturl_id):
+                self.stats.record_failed(commenturl_id)
+            return
+        if kind == "failed":
+            self.stats.record_failed(commenturl_id)
+            return
+        url, comments = payload
+        self.stats.bump("comment_pages_parsed")
+        result.urls[url.commenturl_id] = url
+        for comment in comments:
+            result.comments[comment.comment_id] = comment
 
     def _fetch_comment_page(
         self,
@@ -270,29 +410,12 @@ class DissenterCrawler:
         frontier: CrawlFrontier[str],
         commenturl_id: str,
     ) -> None:
-        """Fetch and record one discussion page (stage 3 unit of work)."""
+        """Fetch and record one discussion page (sequential form)."""
         response = self._client.get_or_none(
             f"{self.BASE}/discussion/{commenturl_id}"
         )
-        if response is None or response.status != 200:
-            if response is not None and response.status == 429:
-                # Retry through the frontier; once the retry budget is
-                # spent the page must still be accounted as failed, or
-                # recrawl_failures() and the validation report would
-                # silently undercount missing pages.
-                if not frontier.fail(commenturl_id):
-                    self.stats.comment_pages_failed.append(commenturl_id)
-            else:
-                self.stats.comment_pages_failed.append(commenturl_id)
-            return
-        url, comments = parse_comment_page(response.text)
-        if url is None:
-            self.stats.comment_pages_failed.append(commenturl_id)
-            return
-        self.stats.comment_pages_parsed += 1
-        result.urls[url.commenturl_id] = url
-        for comment in comments:
-            result.comments[comment.comment_id] = comment
+        outcome = self._comment_page_outcome(response)
+        self._merge_comment_page(result, frontier, commenturl_id, outcome)
 
     def recrawl_failures(self, result: CrawlResult) -> int:
         """Re-request comment pages that failed (§3.2's validation loop).
@@ -320,6 +443,18 @@ class DissenterCrawler:
         self.stats.comment_pages_failed = still_failed
         return recovered
 
+    def _merge_author_page(self, user, response: Response | None) -> None:
+        """Apply one author page's commentAuthor blob to its user."""
+        if response is None or response.status != 200:
+            return
+        self.stats.bump("author_pages_visited")
+        blob = parse_comment_author_blob(response.text)
+        if blob is None:
+            return
+        user.language = blob.get("language")
+        user.permissions = dict(blob.get("permissions", {}))
+        user.view_filters = dict(blob.get("filters", {}))
+
     def _mine_author_page(
         self,
         result: CrawlResult,
@@ -327,7 +462,7 @@ class DissenterCrawler:
         users_by_author: dict,
         visited_authors: set[str],
     ) -> bool:
-        """Mine one author's commentAuthor blob (stage 4 unit of work).
+        """Mine one author's commentAuthor blob (sequential form).
 
         Returns True when an HTTP request was issued.
         """
@@ -341,15 +476,7 @@ class DissenterCrawler:
         response = self._client.get_or_none(
             f"{self.BASE}/comment/{comment.comment_id}"
         )
-        if response is None or response.status != 200:
-            return True
-        self.stats.author_pages_visited += 1
-        blob = parse_comment_author_blob(response.text)
-        if blob is None:
-            return True
-        user.language = blob.get("language")
-        user.permissions = dict(blob.get("permissions", {}))
-        user.view_filters = dict(blob.get("filters", {}))
+        self._merge_author_page(user, response)
         return True
 
     def _mine_hidden_metadata(self, result: CrawlResult) -> None:

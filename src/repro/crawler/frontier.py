@@ -63,6 +63,17 @@ class CrawlFrontier(Generic[T]):
         self.completed += 1
         return item
 
+    def peek(self, n: int = 1) -> list[T]:
+        """The next up-to-``n`` items in pop order, without dequeuing.
+
+        The concurrent fetch engine plans a window from this — actual
+        pops happen at merge time so a mid-window checkpoint still sees
+        the items as queued.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return [self._queue[i] for i in range(min(n, len(self._queue)))]
+
     def fail(self, item: T) -> bool:
         """Record a failure; re-enqueue unless the retry budget is spent.
 

@@ -19,6 +19,7 @@ from repro.crawler.records import CrawledGabAccount
 from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
 from repro.net.cookies import CookieJar
+from repro.net.pool import FetchPool
 from repro.net.ratelimit import HeaderRateLimiter
 
 __all__ = ["GabEnumerator", "GabEnumerationResult"]
@@ -129,6 +130,7 @@ class GabEnumerator:
         max_id: int | None = None,
         checkpointer: Checkpointer | None = None,
         resume: CrawlCheckpoint | dict | None = None,
+        pool: FetchPool | None = None,
     ) -> GabEnumerationResult:
         """Sweep IDs from 1 upward.
 
@@ -140,6 +142,8 @@ class GabEnumerator:
             resume: a prior "gab_enum" checkpoint; the sweep continues
                 from the saved ID — already-probed IDs are never
                 re-requested.
+            pool: fetch engine to issue probes through; a fresh
+                single-connection pool (sequential behavior) when omitted.
         """
         result = GabEnumerationResult()
         gab_id = 0
@@ -170,14 +174,26 @@ class GabEnumerator:
                 ).to_payload()
             )
 
-        while True:
-            if max_id is not None and gab_id >= max_id:
-                break
-            if max_id is None and consecutive_misses >= self._stop_after_misses:
-                break
-            probe_id = gab_id + 1
+        if pool is None:
+            pool = FetchPool(self._client.clock)
+
+        def plan(capacity: int) -> list[int]:
+            # Never over-plans: with no max_id a sequential sweep is
+            # guaranteed at least (stop_after_misses - misses) more
+            # probes whatever their outcomes, so a window of that size
+            # cannot fetch an ID the sequential sweep would not.
+            if max_id is not None:
+                remaining = max_id - gab_id
+            else:
+                remaining = self._stop_after_misses - consecutive_misses
+            window = min(capacity, remaining)
+            if window <= 0:
+                return []
+            return [gab_id + offset + 1 for offset in range(window)]
+
+        def process(probe_id: int, account: CrawledGabAccount | None) -> None:
+            nonlocal gab_id, consecutive_misses
             result.ids_probed += 1
-            account = self._fetch_account(probe_id)
             if account is None:
                 result.misses += 1
                 consecutive_misses += 1
@@ -185,8 +201,8 @@ class GabEnumerator:
                 consecutive_misses = 0
                 result.accounts.append(account)
             gab_id = probe_id
-            if checkpointer is not None:
-                checkpointer.tick()
+
+        pool.run(plan, self._fetch_account, process, checkpointer=checkpointer)
         stage = "done"
         if checkpointer is not None:
             checkpointer.flush()

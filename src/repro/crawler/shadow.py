@@ -25,6 +25,8 @@ from repro.crawler.records import CrawlResult
 from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
 from repro.net.cookies import CookieJar
+from repro.net.http import Response
+from repro.net.pool import FetchPool
 from repro.platform.apps.dissenter_app import DissenterApp
 
 __all__ = ["ShadowCrawler", "ShadowCrawlReport"]
@@ -58,25 +60,48 @@ class ShadowCrawler:
 
     BASE = "https://dissenter.com"
 
+    PARSE_MEMO_SIZE = 8192
+
     def __init__(self, client: HttpClient, app: DissenterApp):
         self._client = client
         self._app = app
+        # Body-keyed parse memo.  The NSFW and offensive passes re-fetch
+        # the same pages, and for pages without hidden content the
+        # transport's render cache hands back the *same* body object —
+        # so the dict lookup short-circuits on identity and the second
+        # pass skips the regex parse entirely.  Instance-scoped on
+        # purpose: sharing parsed comment objects across crawler
+        # instances would alias mutable records between runs.
+        self._parse_memo: dict[bytes, list] = {}
 
-    def _label_page(
+    @staticmethod
+    def _parse_page(response: Response | None) -> list:
+        """Pure parse of a discussion-page response into its comments."""
+        if response is None or response.status != 200:
+            return []
+        _, comments = parse_comment_page(response.text)
+        return comments
+
+    def _parse_page_cached(self, response: Response | None) -> list:
+        if response is None or response.status != 200:
+            return []
+        cached = self._parse_memo.get(response.body)
+        if cached is None:
+            cached = self._parse_page(response)
+            if len(self._parse_memo) >= self.PARSE_MEMO_SIZE:
+                self._parse_memo.clear()
+            self._parse_memo[response.body] = cached
+        return cached
+
+    def _merge_labeled(
         self,
         result: CrawlResult,
-        commenturl_id: str,
+        comments: list,
         label: str,
         baseline_ids: set[str],
     ) -> int:
-        """Fetch one discussion page; label comments absent from baseline."""
+        """Label and record comments absent from the baseline crawl."""
         found = 0
-        response = self._client.get_or_none(
-            f"{self.BASE}/discussion/{commenturl_id}"
-        )
-        if response is None or response.status != 200:
-            return 0
-        _, comments = parse_comment_page(response.text)
         for comment in comments:
             if comment.comment_id in baseline_ids:
                 continue
@@ -86,6 +111,21 @@ class ShadowCrawler:
             result.comments[comment.comment_id] = comment
             found += 1
         return found
+
+    def _label_page(
+        self,
+        result: CrawlResult,
+        commenturl_id: str,
+        label: str,
+        baseline_ids: set[str],
+    ) -> int:
+        """Fetch one discussion page; label comments absent from baseline."""
+        response = self._client.get_or_none(
+            f"{self.BASE}/discussion/{commenturl_id}"
+        )
+        return self._merge_labeled(
+            result, self._parse_page_cached(response), label, baseline_ids
+        )
 
     def _crawl_pass(
         self,
@@ -107,6 +147,7 @@ class ShadowCrawler:
         result: CrawlResult,
         checkpointer: Checkpointer | None = None,
         resume: CrawlCheckpoint | dict | None = None,
+        pool: FetchPool | None = None,
     ) -> ShadowCrawlReport:
         """Run the NSFW and offensive passes over the baseline result.
 
@@ -171,19 +212,38 @@ class ShadowCrawler:
                 ).to_payload()
             )
 
+        if pool is None:
+            pool = FetchPool(self._client.clock)
+
         pass_order = [name for name, _ in _PASSES]
         for position, (label, filters) in enumerate(_PASSES):
             if stage == "done" or pass_order.index(stage) > position:
                 continue   # this pass completed before the checkpoint
             token = self._app.create_session(**filters)
             self._client.cookies.set_simple("session", token, "dissenter.com")
-            while page_index < len(url_ids):
-                found_counts[label] += self._label_page(
-                    result, url_ids[page_index], label, baseline_ids
+
+            def plan(capacity: int) -> list[int]:
+                return list(
+                    range(page_index, min(page_index + capacity, len(url_ids)))
                 )
-                page_index += 1
-                if checkpointer is not None:
-                    checkpointer.tick()
+
+            def fetch(position_: int) -> Response | None:
+                return self._client.get_or_none(
+                    f"{self.BASE}/discussion/{url_ids[position_]}"
+                )
+
+            def process(position_: int, comments: list) -> None:
+                nonlocal page_index
+                found_counts[label] += self._merge_labeled(
+                    result, comments, label, baseline_ids
+                )
+                page_index = position_ + 1
+
+            pool.run(
+                plan, fetch, process,
+                parse=lambda _i, response: self._parse_page_cached(response),
+                checkpointer=checkpointer,
+            )
             self._client.cookies.clear("dissenter.com")
             page_index = 0
             stage = (

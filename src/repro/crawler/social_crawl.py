@@ -22,6 +22,7 @@ from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
 from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
 from repro.net.cookies import CookieJar
+from repro.net.pool import FetchPool
 from repro.net.ratelimit import HeaderRateLimiter
 
 __all__ = ["SocialCrawlResult", "SocialGraphCrawler", "induce_dissenter_graph"]
@@ -112,6 +113,7 @@ class SocialGraphCrawler:
         gab_ids: Iterable[int],
         checkpointer: Checkpointer | None = None,
         resume: CrawlCheckpoint | dict | None = None,
+        pool: FetchPool | None = None,
     ) -> SocialCrawlResult:
         """Gather both relationship directions for every given account.
 
@@ -119,6 +121,11 @@ class SocialGraphCrawler:
         periodically; on ``resume`` the same account sequence must be
         passed again — the saved cursor indexes into it, and accounts
         whose lists are already complete are never re-walked.
+
+        Pagination is a dependent chain (each page decides whether the
+        next exists), so an account cannot be split across connections;
+        instead each account's whole request chain is one ``pool``
+        flight — different accounts overlap on the K virtual connections.
         """
         gab_ids = list(gab_ids)
         result = SocialCrawlResult()
@@ -155,10 +162,14 @@ class SocialGraphCrawler:
                 ).to_payload()
             )
 
+        if pool is None:
+            pool = FetchPool(self._client.clock)
+
         while index < len(gab_ids):
             gab_id = gab_ids[index]
-            followers = self._paged_ids(gab_id, "followers", checkpointer)
-            following = self._paged_ids(gab_id, "following", checkpointer)
+            with pool.flight():
+                followers = self._paged_ids(gab_id, "followers", checkpointer)
+                following = self._paged_ids(gab_id, "following", checkpointer)
             result.followers[gab_id] = followers
             result.following[gab_id] = following
             index += 1

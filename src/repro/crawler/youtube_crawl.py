@@ -20,6 +20,8 @@ from repro.crawler.records import CrawledYouTubeItem
 from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
 from repro.net.cookies import CookieJar
+from repro.net.http import Response
+from repro.net.pool import FetchPool
 
 __all__ = ["YouTubeCrawler", "YouTubeCrawlResult", "is_youtube_url"]
 
@@ -85,22 +87,30 @@ class YouTubeCrawler:
     def __init__(self, client: HttpClient):
         self._client = client
 
-    def render(self, url: str) -> CrawledYouTubeItem | None:
-        """Fetch one URL (following redirects) and extract the JS blob."""
+    def _fetch(self, url: str) -> Response | None:
+        """Fetch one URL (following redirects)."""
         fetch_url = url
         if fetch_url.startswith("http://"):
             fetch_url = "https://" + fetch_url[len("http://"):]
-        response = self._client.get_or_none(fetch_url)
+        return self._client.get_or_none(fetch_url)
+
+    @staticmethod
+    def _extract(url: str, response: Response | None) -> CrawledYouTubeItem | None:
+        """Pure extraction of the ytInitialData blob from a response."""
         if response is None or response.status != 200:
             return None
-        item = parse_youtube_page(url, response.text)
-        return item
+        return parse_youtube_page(url, response.text)
+
+    def render(self, url: str) -> CrawledYouTubeItem | None:
+        """Fetch one URL (following redirects) and extract the JS blob."""
+        return self._extract(url, self._fetch(url))
 
     def crawl(
         self,
         urls: Iterable[str],
         checkpointer: Checkpointer | None = None,
         resume: CrawlCheckpoint | dict | None = None,
+        pool: FetchPool | None = None,
     ) -> YouTubeCrawlResult:
         """Render every YouTube URL in the iterable.
 
@@ -132,19 +142,38 @@ class YouTubeCrawler:
                 ).to_payload()
             )
 
-        while index < len(urls):
-            url = urls[index]
-            requested = False
-            if is_youtube_url(url):
-                requested = True
-                item = self.render(url)
-                if item is None:
-                    result.fetch_failures.append(url)
-                else:
-                    result.items[url] = item
-            index += 1
-            if requested and checkpointer is not None:
-                checkpointer.tick()
+        if pool is None:
+            pool = FetchPool(self._client.clock)
+
+        def plan(capacity: int) -> list[tuple[int, str]]:
+            # Non-YouTube URLs never issue a request (nor tick); each
+            # job carries the cursor value past any it skipped.
+            jobs: list[tuple[int, str]] = []
+            position = index
+            while position < len(urls) and len(jobs) < capacity:
+                url = urls[position]
+                position += 1
+                if is_youtube_url(url):
+                    jobs.append((position, url))
+            return jobs
+
+        def process(job: tuple[int, str], item: CrawledYouTubeItem | None) -> None:
+            nonlocal index
+            index_after, url = job
+            if item is None:
+                result.fetch_failures.append(url)
+            else:
+                result.items[url] = item
+            index = index_after
+
+        pool.run(
+            plan,
+            lambda job: self._fetch(job[1]),
+            process,
+            parse=lambda job, response: self._extract(job[1], response),
+            checkpointer=checkpointer,
+        )
+        index = len(urls)
         stage = "done"
         if checkpointer is not None:
             checkpointer.flush()

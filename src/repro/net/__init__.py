@@ -26,6 +26,7 @@ from repro.net.errors import (
     TooManyRedirects,
 )
 from repro.net.http import Headers, Request, Response
+from repro.net.pool import FetchPool, FetchPoolStats
 from repro.net.ratelimit import (
     HeaderRateLimiter,
     KeyedRateLimiter,
@@ -42,6 +43,8 @@ __all__ = [
     "CrawlKilled",
     "CookieJar",
     "FaultPlan",
+    "FetchPool",
+    "FetchPoolStats",
     "HTTPStatusError",
     "HeaderRateLimiter",
     "Headers",

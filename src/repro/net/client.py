@@ -9,6 +9,7 @@ the NSFW/offensive shadow crawl.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -24,7 +25,13 @@ _RETRYABLE_STATUSES = frozenset({429, 500, 502, 503})
 
 @dataclass
 class ClientStats:
-    """Counters a crawl report can cite."""
+    """Counters a crawl report can cite.
+
+    Mutations go through the ``record_*``/``bump`` methods, which hold a
+    lock: once a :class:`~repro.net.pool.FetchPool` offloads parse work
+    to threads, the read-modify-write increments here would otherwise
+    lose updates.
+    """
 
     requests: int = 0
     retries: int = 0
@@ -33,11 +40,21 @@ class ClientStats:
     bytes_received: int = 0
     status_counts: dict[int, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: locks aren't comparable or serialisable.
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically increment one of the integer counters by name."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
     def record_response(self, response: Response) -> None:
-        self.bytes_received += response.size
-        self.status_counts[response.status] = (
-            self.status_counts.get(response.status, 0) + 1
-        )
+        with self._lock:
+            self.bytes_received += response.size
+            self.status_counts[response.status] = (
+                self.status_counts.get(response.status, 0) + 1
+            )
 
 
 class HttpClient:
@@ -104,7 +121,7 @@ class HttpClient:
         return request
 
     def _send_once(self, request: Request) -> Response:
-        self.stats.requests += 1
+        self.stats.bump("requests")
         response = self._transport.send(request, timeout=self._timeout)
         self.stats.record_response(response)
         self.cookies.ingest_response(
@@ -144,7 +161,7 @@ class HttpClient:
             try:
                 response = self._send_once(request)
             except TimeoutError:
-                self.stats.timeouts += 1
+                self.stats.bump("timeouts")
                 if attempt >= self._max_retries:
                     raise
             else:
@@ -153,7 +170,7 @@ class HttpClient:
                 if attempt >= self._max_retries:
                     return response
             attempt += 1
-            self.stats.retries += 1
+            self.stats.bump("retries")
             self.clock.sleep(max(0.0, self._retry_delay(response, attempt)))
 
     def request(
@@ -179,7 +196,7 @@ class HttpClient:
             redirects += 1
             if redirects > self._max_redirects:
                 raise TooManyRedirects(url, self._max_redirects)
-            self.stats.redirects_followed += 1
+            self.stats.bump("redirects_followed")
             target = response.redirect_target()
             # A redirect-followed request is a *fresh* GET: replaying the
             # caller's original headers would leak request-specific fields

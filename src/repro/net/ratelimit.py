@@ -12,6 +12,8 @@ wait for the refresh before continuing — implemented here as
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.net.clock import Clock
 from repro.net.http import Response
 
@@ -76,6 +78,11 @@ class TokenBucket:
         self._tokens = max(0.0, self._tokens - tokens)
         return waited
 
+    def is_full(self) -> bool:
+        """True when the bucket has refilled to capacity (quiescent)."""
+        self._refill()
+        return self._tokens >= self._capacity
+
 
 class KeyedRateLimiter:
     """A family of token buckets indexed by key.
@@ -84,19 +91,62 @@ class KeyedRateLimiter:
     per-URL limit; with a constant key it is a global limit.  Used on the
     *server* side of the simulation (middleware returning 429s) and in the
     A1 ablation.
+
+    Memory is bounded: a crawl keyed per URL touches 588k distinct keys,
+    but a bucket that has refilled to capacity is indistinguishable from
+    a fresh one, so when the table exceeds ``max_keys`` the least recently
+    used *full* buckets are evicted (a re-created bucket starts at
+    capacity — bit-identical behavior).  Buckets still paying off debt
+    are never evicted, so the table can only exceed ``max_keys`` while
+    that many keys are simultaneously mid-window.
     """
 
-    def __init__(self, rate: float, capacity: float, clock: Clock):
+    DEFAULT_MAX_KEYS = 4096
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Clock,
+        max_keys: int = DEFAULT_MAX_KEYS,
+    ):
+        if max_keys < 1:
+            raise ValueError("max_keys must be >= 1")
         self._rate = rate
         self._capacity = capacity
         self._clock = clock
-        self._buckets: dict[str, TokenBucket] = {}
+        self._max_keys = max_keys
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self.created = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def _evict(self, protect: str) -> None:
+        over = len(self._buckets) - self._max_keys
+        if over <= 0:
+            return
+        # The just-created bucket starts full: without `protect` it would
+        # be its own first eviction victim, discarding the token its
+        # caller is about to take.
+        victims = [
+            k for k, b in self._buckets.items()
+            if k != protect and b.is_full()
+        ][:over]
+        for key in victims:
+            del self._buckets[key]
+            self.evictions += 1
 
     def bucket(self, key: str) -> TokenBucket:
         existing = self._buckets.get(key)
         if existing is None:
             existing = TokenBucket(self._rate, self._capacity, self._clock)
             self._buckets[key] = existing
+            self.created += 1
+            self._evict(protect=key)
+        else:
+            self._buckets.move_to_end(key)
         return existing
 
     def try_acquire(self, key: str) -> bool:

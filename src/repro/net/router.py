@@ -72,8 +72,14 @@ class App:
             return Response.html(...)
     """
 
-    def __init__(self, host: str):
+    def __init__(self, host: str, deterministic_render: bool = False):
         self.host = host.lower()
+        # True promises that route dispatch (render) is a pure function of
+        # the request — no mutable server state, no clock reads — so the
+        # transport may memoise rendered responses.  Middleware (prepare)
+        # carries the stateful parts (rate-limit windows, session checks)
+        # and always runs.
+        self.deterministic_render = deterministic_render
         self._routes: list[Route] = []
         self._middleware: list[Callable[[Request], Response | None]] = []
 
@@ -109,13 +115,36 @@ class App:
         """
         self._middleware.append(middleware)
 
-    def handle(self, request: Request) -> Response:
-        """Dispatch a request to the first matching route."""
+    def prepare(self, request: Request) -> Response | None:
+        """Run the stateful half of dispatch: middleware.
+
+        Returns a short-circuit response (e.g. a rate limiter's 429) or
+        None when the request may proceed to :meth:`render`.
+        """
         for middleware in self._middleware:
             early = middleware(request)
             if early is not None:
                 early.url = request.url
                 return early
+        return None
+
+    def render_cookie_key(self, request: Request) -> object:
+        """Cookie-derived component of the transport's render-memo key.
+
+        Defaults to the raw Cookie header.  Apps whose renders depend on
+        the cookie only through coarser state (e.g. which view filters a
+        session enables) may override this so sessions that would see
+        identical bytes share one cache entry.  Must be hashable and a
+        pure function of the request.
+        """
+        return request.cookie_header()
+
+    def render(self, request: Request) -> Response:
+        """Run the routing half of dispatch (no middleware).
+
+        When ``deterministic_render`` is set this must be pure in the
+        request, which lets the transport cache the result.
+        """
         for route in self._routes:
             params = route.match(request.method, request.path)
             if params is not None:
@@ -125,3 +154,10 @@ class App:
         response = Response.not_found()
         response.url = request.url
         return response
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch a request to the first matching route."""
+        early = self.prepare(request)
+        if early is not None:
+            return early
+        return self.render(request)

@@ -10,6 +10,7 @@ crawler's retry logic is genuinely exercised.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -64,6 +65,8 @@ class LoopbackTransport:
         seed: RNG seed for fault injection.
     """
 
+    RENDER_CACHE_SIZE = 4096
+
     def __init__(
         self,
         clock: Clock | None = None,
@@ -78,8 +81,11 @@ class LoopbackTransport:
         self._origins: dict[str, object] = {}
         self._fault_counts: dict[str, int] = {}
         self._kill_remaining: int | None = None
+        self._render_cache: OrderedDict[tuple, Response] = OrderedDict()
         self.requests_served = 0
         self.requests_attempted = 0
+        self.render_hits = 0
+        self.render_misses = 0
         self.faults_injected = 0
 
     def register(self, app) -> None:
@@ -144,9 +150,58 @@ class LoopbackTransport:
             return faulted
         start = self.clock.now()
         self.clock.sleep(self._latency)
-        response = app.handle(request)
+        response = self._dispatch(app, request)
         response.elapsed = self.clock.now() - start
         if not response.url:
             response.url = request.url
         self.requests_served += 1
+        return response
+
+    def _dispatch(self, app, request: Request) -> Response:
+        """Run an origin app, memoising pure renders.
+
+        Apps that declare ``deterministic_render`` promise their route
+        dispatch is a pure function of (method, url, cookie, body); their
+        stateful middleware still runs every time via ``prepare``, but
+        identical renders are served from a bounded LRU — the dominant
+        CPU cost of a simulated fetch.  Apps without the split (test
+        fakes) fall back to ``handle``.
+        """
+        prepare = getattr(app, "prepare", None)
+        if prepare is None:
+            return app.handle(request)
+        early = prepare(request)
+        if early is not None:
+            return early
+        if not getattr(app, "deterministic_render", False):
+            return app.render(request)
+        cookie_key = getattr(app, "render_cookie_key", None)
+        key = (
+            app.host,
+            request.method,
+            request.url,
+            cookie_key(request) if cookie_key is not None
+            else request.cookie_header(),
+            request.body,
+        )
+        cached = self._render_cache.get(key)
+        if cached is not None:
+            self._render_cache.move_to_end(key)
+            self.render_hits += 1
+            # send() mutates .elapsed on what it returns; hand hits a
+            # per-request shell around the shared body.
+            return Response(
+                status=cached.status,
+                headers=cached.headers.copy(),
+                body=cached.body,
+                url=cached.url,
+            )
+        response = app.render(request)
+        self._render_cache[key] = response
+        self.render_misses += 1
+        if len(self._render_cache) > self.RENDER_CACHE_SIZE:
+            self._render_cache.popitem(last=False)
+        # The live object doubles as the cache entry: send()'s own
+        # .elapsed/.url writes are the only post-render mutations, and
+        # both are identical for every request mapping to this key.
         return response

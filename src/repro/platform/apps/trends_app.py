@@ -23,7 +23,7 @@ class TrendsApp(App):
     """The trends.gab.com origin."""
 
     def __init__(self, state: DissenterState):
-        super().__init__("trends.gab.com")
+        super().__init__("trends.gab.com", deterministic_render=True)
         self._state = state
         # Homepage shows the most-commented news URLs.
         news = [

@@ -1,0 +1,154 @@
+"""Rate limiters under multi-connection (flight-interleaved) crawling.
+
+Satellite checks for the concurrent fetch engine: limiter waits taken
+inside pool flights must be captured into the flight (no double-charge
+against ``VirtualClock.total_slept``), the canonical serial timeline must
+be unaffected by the connection count, and the keyed limiter's bucket
+table must stay bounded over crawls that touch hundreds of thousands of
+distinct URLs.
+"""
+
+import pytest
+
+from repro.net.clock import VirtualClock
+from repro.net.http import Response
+from repro.net.pool import FetchPool
+from repro.net.ratelimit import (
+    HeaderRateLimiter,
+    KeyedRateLimiter,
+    TokenBucket,
+)
+
+
+def limited_response(remaining: int, reset_at: float) -> Response:
+    response = Response(status=200, body=b"ok")
+    response.headers.set(HeaderRateLimiter.REMAINING_HEADER, str(remaining))
+    response.headers.set(HeaderRateLimiter.RESET_HEADER, f"{reset_at:.0f}")
+    return response
+
+
+class TestTokenBucketUnderFlights:
+    def test_acquire_waits_inside_flight_charge_once(self):
+        clock = VirtualClock(epoch=0.0)
+        pool = FetchPool(clock, connections=2)
+        bucket = TokenBucket(rate=1.0, capacity=1.0, clock=clock)
+
+        waits = []
+        for _ in range(4):
+            with pool.flight():
+                waits.append(bucket.acquire())
+        # Serial timeline: first acquire free, then 1s apart.
+        assert waits == [0.0, 1.0, 1.0, 1.0]
+        assert clock.now() == 3.0
+        # Each waited second was captured by its flight and re-accounted
+        # exactly once as makespan: never both serially AND concurrently.
+        assert clock.total_slept == pool.stats.makespan_seconds
+        assert clock.total_slept <= sum(waits)
+
+    def test_interleaved_acquires_match_sequential_timeline(self):
+        # The same acquire sequence with and without a pool must observe
+        # identical waits — concurrency is accounting, not reordering.
+        def drive(pool):
+            clock = pool._clock if pool else VirtualClock(epoch=0.0)
+            bucket = TokenBucket(rate=2.0, capacity=3.0, clock=clock)
+            waits = []
+            for _ in range(10):
+                if pool is None:
+                    waits.append(bucket.acquire())
+                else:
+                    with pool.flight():
+                        waits.append(bucket.acquire())
+            return waits, clock.now()
+
+        sequential = drive(None)
+        concurrent = drive(FetchPool(VirtualClock(epoch=0.0), connections=4))
+        assert sequential == concurrent
+
+
+class TestHeaderRateLimiterUnderFlights:
+    def test_reset_wait_captured_by_flight(self):
+        clock = VirtualClock(epoch=0.0)
+        pool = FetchPool(clock, connections=3)
+        limiter = HeaderRateLimiter(clock, floor_interval=1.0)
+
+        with pool.flight():
+            limiter.before_request()
+            limiter.after_response(limited_response(0, reset_at=30.0))
+        with pool.flight():
+            # Remaining hit zero: this flight sleeps until the reset.
+            waited = limiter.before_request()
+            limiter.after_response(limited_response(10, reset_at=90.0))
+        assert waited == 30.0
+        assert clock.now() == 30.0
+        assert limiter.total_waited == 30.0
+        # The 30s reset wait is in the makespan, not double-charged.
+        assert clock.total_slept == pool.stats.makespan_seconds
+        assert pool.stats.busy_seconds == 30.0
+
+    def test_floor_interval_observes_serial_timeline(self):
+        # Because flights execute serially on the canonical clock, the
+        # floor interval between requests behaves exactly as in a
+        # sequential crawl regardless of the connection count.
+        results = {}
+        for connections in (1, 4):
+            clock = VirtualClock(epoch=0.0)
+            pool = FetchPool(clock, connections=connections)
+            limiter = HeaderRateLimiter(clock, floor_interval=2.0)
+            for _ in range(5):
+                with pool.flight():
+                    limiter.before_request()
+            results[connections] = (clock.now(), limiter.total_waited)
+        assert results[1] == results[4]
+        assert results[1][1] == 8.0  # 4 gaps * 2s floor
+
+
+class TestKeyedRateLimiterBoundedMemory:
+    def test_table_stays_bounded_over_many_keys(self):
+        clock = VirtualClock(epoch=0.0)
+        limiter = KeyedRateLimiter(
+            rate=10.0, capacity=1.0, clock=clock, max_keys=64
+        )
+        # A breadth-first crawl: each URL touched once, clock advancing
+        # between requests so old buckets refill to capacity.
+        for i in range(1000):
+            assert limiter.try_acquire(f"https://example.com/page/{i}")
+            clock.advance(0.5)
+        assert limiter.created == 1000
+        assert len(limiter) <= 64
+        assert limiter.evictions == 1000 - len(limiter)
+
+    def test_mid_window_buckets_survive_eviction(self):
+        clock = VirtualClock(epoch=0.0)
+        limiter = KeyedRateLimiter(
+            rate=0.001, capacity=1.0, clock=clock, max_keys=4
+        )
+        # Drain 8 buckets with essentially no refill: all are mid-window,
+        # so none are evictable and the table temporarily exceeds the cap.
+        for i in range(8):
+            assert limiter.try_acquire(f"key-{i}")
+        assert len(limiter) == 8
+        assert limiter.evictions == 0
+        # Once they refill, the next miss sweeps the excess.
+        clock.advance(2000.0)
+        limiter.try_acquire("key-8")
+        assert len(limiter) <= 4
+        assert limiter.evictions >= 5
+
+    def test_evicted_bucket_recreates_bit_identically(self):
+        clock = VirtualClock(epoch=0.0)
+        limiter = KeyedRateLimiter(
+            rate=1.0, capacity=2.0, clock=clock, max_keys=1
+        )
+        assert limiter.try_acquire("a")
+        clock.advance(10.0)          # "a" refills to capacity
+        assert limiter.try_acquire("b")   # evicts "a"
+        assert limiter.evictions == 1
+        # Re-touching "a" behaves exactly like the never-evicted bucket:
+        # full capacity burst available.
+        assert limiter.try_acquire("a")
+        assert limiter.try_acquire("a")
+        assert not limiter.try_acquire("a")
+
+    def test_max_keys_validated(self):
+        with pytest.raises(ValueError):
+            KeyedRateLimiter(1.0, 1.0, VirtualClock(), max_keys=0)
