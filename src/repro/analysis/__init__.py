@@ -1,0 +1,42 @@
+"""Determinism & concurrency lint suite (``python -m repro.analysis``).
+
+The reproduction's headline guarantee — corpora, stats and checkpoints
+bit-identical across ``--connections 1/4/8``, across kill→resume chains
+and across ``--workers`` scoring — rests on code-level invariants that
+no runtime test can exhaustively cover:
+
+* no module reads wall-clock time (everything paces itself on an
+  injected :class:`~repro.net.clock.Clock`);
+* no unseeded randomness (every generator descends from the world seed);
+* no unordered ``set``/``frozenset`` iteration on a path that reaches
+  corpus, checkpoint, or report bytes;
+* shared stats objects are only mutated through their lock-guarded APIs;
+* every field of a checkpointed dataclass is registered in its
+  serialization schema (silent resume drift otherwise).
+
+This package parses the tree with :mod:`ast` and mechanically enforces
+those invariants as a catalog of repo-specific checkers (see
+:data:`repro.analysis.checkers.CATALOG`).  Findings can be suppressed
+per line (``# repro: allow DET003 <reason>``) or accepted wholesale in a
+committed baseline file; anything new fails CI.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.checkers import CATALOG
+from repro.analysis.engine import (
+    Finding,
+    ParsedModule,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+
+__all__ = [
+    "Baseline",
+    "CATALOG",
+    "Finding",
+    "ParsedModule",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]

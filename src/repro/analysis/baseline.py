@@ -1,0 +1,107 @@
+"""The committed findings baseline.
+
+A baseline lets the suite gate *new* findings while pre-existing,
+reviewed ones ride along: CI runs ``python -m repro.analysis`` against
+``analysis-baseline.json`` and fails only on findings absent from it.
+
+Entries are matched by ``(code, path, stripped source line)`` rather
+than line *numbers*, so unrelated edits above a baselined site don't
+resurrect it.  Matching is multiset-style: two identical offending lines
+in one file need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard, types only
+    from repro.analysis.engine import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+_BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Accepted findings, keyed by (code, path, line text)."""
+
+    def __init__(self, entries: Iterable[tuple[str, str, str]] = ()):
+        self._entries: Counter[tuple[str, str, str]] = Counter(entries)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    @staticmethod
+    def _key(finding: "Finding") -> tuple[str, str, str]:
+        return (finding.code, finding.path, finding.line_text)
+
+    def subtract(self, findings: list["Finding"]) -> list["Finding"]:
+        """Remove findings covered by the baseline (consuming entries)."""
+        remaining = Counter(self._entries)
+        kept = []
+        for finding in findings:
+            key = self._key(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                kept.append(finding)
+        return kept
+
+    @classmethod
+    def from_findings(cls, findings: Iterable["Finding"]) -> "Baseline":
+        return cls(cls._key(finding) for finding in findings)
+
+    # ------------------------------------------------------------------
+    # File round trip.
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        entries = [
+            {"code": code, "path": path, "line_text": line_text}
+            for (code, path, line_text), count in sorted(self._entries.items())
+            for _ in range(count)
+        ]
+        return {"version": _BASELINE_VERSION, "entries": entries}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Baseline":
+        """Parse a baseline document.
+
+        Raises:
+            ValueError: wrong version or malformed entries.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("baseline must be a JSON object")
+        if payload.get("version") != _BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r}"
+            )
+        try:
+            return cls(
+                (entry["code"], entry["path"], entry["line_text"])
+                for entry in payload.get("entries", [])
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed baseline entry: {exc!r}") from exc
+
+    def save(self, path: str | Path) -> None:
+        text = json.dumps(self.to_payload(), indent=2, sort_keys=True)
+        Path(path).write_text(text + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file.
+
+        Raises:
+            ValueError: unreadable or malformed file.
+        """
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)

@@ -1,0 +1,147 @@
+"""``python -m repro.analysis`` — the lint suite's command line.
+
+Exit codes follow CI conventions: 0 when the tree is clean (modulo the
+baseline), 1 when new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.checkers import CATALOG, PROJECT_CATALOG
+from repro.analysis.engine import Finding, analyze_paths
+
+__all__ = ["build_parser", "main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based determinism & concurrency lint suite enforcing the "
+            "reproduction's bit-identity invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when it "
+             "exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings: write them to the baseline "
+             "file and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated checker codes to report (default: all)",
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="print the checker catalog (code, rationale, hint) and exit",
+    )
+    return parser
+
+
+def _list_checkers(stream) -> None:
+    for checker in [*CATALOG, *PROJECT_CATALOG]:
+        print(f"{checker.code}  {checker.name}", file=stream)
+        print(f"    why:  {checker.rationale}", file=stream)
+        print(f"    fix:  {checker.hint}", file=stream)
+    print("SUP001  malformed suppression", file=stream)
+    print(
+        "    why:  a suppression without a reason (or with an unknown "
+        "code) hides nothing and documents nothing",
+        file=stream,
+    )
+    print(
+        "    fix:  write '# repro: allow <CODE> <reason>' with a real "
+        "code and reason",
+        file=stream,
+    )
+
+
+def _default_paths() -> list[str]:
+    candidate = Path("src/repro")
+    if candidate.is_dir():
+        return [str(candidate)]
+    raise SystemExit(
+        "no paths given and ./src/repro does not exist "
+        "(run from the repo root or pass paths)"
+    )
+
+
+def _resolve_baseline(args: argparse.Namespace) -> tuple[Baseline | None, Path]:
+    baseline_path = args.baseline or Path(DEFAULT_BASELINE_NAME)
+    if args.no_baseline:
+        return None, baseline_path
+    if baseline_path.exists():
+        return Baseline.load(baseline_path), baseline_path
+    return None, baseline_path
+
+
+def _emit(findings: list[Finding], fmt: str, stream) -> None:
+    if fmt == "json":
+        payload = {
+            "findings": [finding.to_dict() for finding in findings],
+            "count": len(findings),
+        }
+        print(json.dumps(payload, indent=2), file=stream)
+        return
+    for finding in findings:
+        print(finding.render(), file=stream)
+        print(f"    hint: {finding.hint}", file=stream)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=stream)
+    else:
+        print("clean: no new findings", file=stream)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the suite; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_checkers:
+        _list_checkers(sys.stdout)
+        return EXIT_CLEAN
+    paths = args.paths or _default_paths()
+    baseline, baseline_path = _resolve_baseline(args)
+    if args.write_baseline:
+        # A fresh baseline accepts everything currently in the tree.
+        baseline = None
+    try:
+        findings = analyze_paths(paths, baseline=baseline)
+    except (FileNotFoundError, ValueError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.select:
+        wanted = {code.strip() for code in args.select.split(",")}
+        findings = [f for f in findings if f.code in wanted]
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(findings)} accepted finding(s))",
+        )
+        return EXIT_CLEAN
+    _emit(findings, args.format, sys.stdout)
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,301 @@
+"""Analysis engine: parsing, suppression comments, and the run loop.
+
+A :class:`ParsedModule` bundles one file's source, AST and per-line
+suppressions; :func:`analyze_paths` parses every file once, runs each
+checker from the catalog over each module (plus the project-level pass
+over all modules together), applies suppressions and the baseline, and
+returns the surviving findings sorted by location.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.analysis.baseline import Baseline
+
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "Suppression",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+# ``# repro: allow DET003 <reason>`` — one or more codes, comma-separated,
+# then a mandatory free-text reason (suppressions without a reason are
+# themselves reported, as SUP001).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\s+([A-Z]+\d{3}(?:\s*,\s*[A-Z]+\d{3})*)(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker hit.
+
+    Attributes:
+        code: stable checker code ("DET001", ...).
+        path: file path as reported (relative when possible).
+        line: 1-based line of the offending node.
+        col: 0-based column.
+        message: what is wrong, specifically.
+        hint: the checker's fix-it hint.
+        line_text: the stripped source line (baseline fingerprint).
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    line_text: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1} {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "line_text": self.line_text,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file, ready for checkers."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "ParsedModule":
+        """Parse source text; raises SyntaxError on unparsable input."""
+        tree = ast.parse(source, filename=path)
+        module = cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        module.suppressions = list(_parse_suppressions(source))
+        return module
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, code: str, node: ast.AST, message: str, hint: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            code=code,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+            line_text=self.line_text(line),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when an in-scope suppression covers the finding.
+
+        A suppression covers its own physical line and, when it is a
+        standalone comment line, the next line — so wide expressions can
+        carry the annotation just above instead of overflowing the line.
+        """
+        for suppression in self.suppressions:
+            if finding.code not in suppression.codes:
+                continue
+            if not suppression.reason:
+                continue   # reasonless suppressions never fire (SUP001)
+            if suppression.line == finding.line:
+                suppression.used = True
+                return True
+            own_line = self.line_text(suppression.line)
+            if own_line.startswith("#") and suppression.line + 1 == finding.line:
+                suppression.used = True
+                return True
+        return False
+
+
+def _parse_suppressions(source: str) -> Iterator[Suppression]:
+    """Scan comments for ``# repro: allow`` annotations via tokenize."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip() for code in match.group(1).split(",")
+            )
+            yield Suppression(
+                line=token.start[0],
+                codes=codes,
+                reason=match.group(2).strip(),
+            )
+    except tokenize.TokenError:
+        return
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            seen.extend(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            seen.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return iter(sorted(set(seen), key=lambda p: str(p)))
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    """Path as reported in findings: root-relative posix when possible."""
+    resolved = path.resolve()
+    base = (root or Path.cwd()).resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _run_catalog(modules: list[ParsedModule]) -> list[Finding]:
+    from repro.analysis.checkers import CATALOG, PROJECT_CATALOG
+
+    findings: list[Finding] = []
+    for module in modules:
+        for checker in CATALOG:
+            findings.extend(checker.check(module))
+        findings.extend(_suppression_hygiene(module))
+    for checker in PROJECT_CATALOG:
+        findings.extend(checker.check_project(modules))
+    kept = []
+    by_path = {module.path: module for module in modules}
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def _suppression_hygiene(module: ParsedModule) -> Iterator[Finding]:
+    """SUP001: suppressions must carry a reason and known codes."""
+    from repro.analysis.checkers import known_codes
+
+    catalog = known_codes()
+    for suppression in module.suppressions:
+        anchor = ast.Module(body=[], type_ignores=[])
+        anchor.lineno = suppression.line          # type: ignore[attr-defined]
+        anchor.col_offset = 0                     # type: ignore[attr-defined]
+        if not suppression.reason:
+            yield module.finding(
+                "SUP001",
+                anchor,
+                f"suppression of {', '.join(suppression.codes)} has no "
+                f"reason — write '# repro: allow {suppression.codes[0]} "
+                f"<why this is safe>'",
+                "a reasonless suppression never fires; state why the "
+                "finding is acceptable",
+            )
+        unknown = [c for c in suppression.codes if c not in catalog]
+        if unknown:
+            yield module.finding(
+                "SUP001",
+                anchor,
+                f"suppression names unknown checker code(s): "
+                f"{', '.join(unknown)}",
+                "use a code from `python -m repro.analysis --list-checkers`",
+            )
+
+
+def analyze_source(
+    source: str, path: str = "<string>"
+) -> list[Finding]:
+    """Run the full per-module catalog over one source string.
+
+    Project-level checkers (CHK001) need the whole tree and are skipped.
+    """
+    module = ParsedModule.from_source(source, path)
+    findings: list[Finding] = []
+    from repro.analysis.checkers import CATALOG
+
+    for checker in CATALOG:
+        findings.extend(checker.check(module))
+    findings.extend(_suppression_hygiene(module))
+    kept = [f for f in findings if not module.is_suppressed(f)]
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
+    return kept
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+) -> list[Finding]:
+    """Parse and check every file under ``paths``.
+
+    Args:
+        paths: files and/or directories.
+        baseline: accepted pre-existing findings to subtract.
+        root: base for relative finding paths (default: cwd).
+
+    Returns:
+        New findings (not suppressed, not baselined), sorted by location.
+
+    Raises:
+        SyntaxError: a file does not parse (the tree must at least
+            compile before it can be linted).
+    """
+    root_path = Path(root) if root is not None else None
+    modules = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        modules.append(
+            ParsedModule.from_source(
+                source, _display_path(file_path, root_path)
+            )
+        )
+    findings = _run_catalog(modules)
+    if baseline is not None:
+        findings = baseline.subtract(findings)
+    return findings

@@ -135,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
     score = sub.add_parser("score", help="score comment text")
     score.add_argument("text", nargs="*", help="comment text (default: stdin)")
 
+    # ``analyze`` forwards its whole tail to repro.analysis (main()
+    # intercepts it before parsing); registered here for --help only.
+    sub.add_parser(
+        "analyze",
+        help="run the determinism & concurrency lint suite "
+             "(all arguments forwarded to python -m repro.analysis)",
+        add_help=False,
+    )
+
     figures = sub.add_parser("figures", help="render the paper's figures as SVG")
     figures.add_argument("--scale", type=float, default=0.004)
     figures.add_argument("--seed", type=int, default=42)
@@ -252,6 +261,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "analyze":
+        # The lint suite owns its own argument surface (including
+        # --help); forward the tail untouched.
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,

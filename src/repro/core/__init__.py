@@ -46,8 +46,6 @@ from repro.core.pipeline import (
     ReproductionPipeline,
     ReproductionReport,
 )
-from repro.core.report import render_full_report
-from repro.core.scoring import ScoreStore, ScoreStoreCounters
 from repro.core.relative import (
     BaselineOverview,
     CommentRatioAnalysis,
@@ -56,8 +54,9 @@ from repro.core.relative import (
     comment_ratios,
     relative_toxicity,
 )
+from repro.core.report import render_full_report
+from repro.core.scoring import ScoreStore, ScoreStoreCounters
 from repro.core.shadow import ShadowToxicity, analyze_shadow_toxicity
-from repro.core.threads import ThreadStructure, analyze_threads
 from repro.core.socialnet import (
     HatefulCore,
     SocialNetworkAnalysis,
@@ -65,6 +64,7 @@ from repro.core.socialnet import (
     extract_hateful_core,
     per_user_activity_toxicity,
 )
+from repro.core.threads import ThreadStructure, analyze_threads
 from repro.core.urls import UrlTableStats, analyze_urls
 from repro.core.votes import VoteToxicity, analyze_votes
 from repro.core.youtube import YouTubeAnalysis, analyze_youtube

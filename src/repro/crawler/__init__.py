@@ -36,8 +36,8 @@ from repro.crawler.records import (
 from repro.crawler.reddit_crawl import RedditMatcher
 from repro.crawler.shadow import ShadowCrawler
 from repro.crawler.social_crawl import SocialGraphCrawler
-from repro.crawler.youtube_crawl import YouTubeCrawler
 from repro.crawler.validation import CrawlValidator
+from repro.crawler.youtube_crawl import YouTubeCrawler
 
 __all__ = [
     "CrawlFrontier",

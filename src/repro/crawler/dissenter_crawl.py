@@ -78,6 +78,11 @@ class CrawlStats:
         with self._lock:
             self.comment_pages_failed.append(commenturl_id)
 
+    def replace_failed(self, commenturl_ids: list[str]) -> None:
+        """Atomically replace the failed-pages list (recrawl bookkeeping)."""
+        with self._lock:
+            self.comment_pages_failed = list(commenturl_ids)
+
     def to_dict(self) -> dict:
         return {
             "usernames_probed": self.usernames_probed,
@@ -440,7 +445,7 @@ class DissenterCrawler:
             for comment in comments:
                 result.comments[comment.comment_id] = comment
             recovered += 1
-        self.stats.comment_pages_failed = still_failed
+        self.stats.replace_failed(still_failed)
         return recovered
 
     def _merge_author_page(self, user, response: Response | None) -> None:

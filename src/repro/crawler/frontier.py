@@ -126,11 +126,15 @@ class CrawlFrontier(Generic[T]):
         """Snapshot the frontier as a JSON-serialisable dict.
 
         Failure counts are stored as ``[item, count]`` pairs (not a dict)
-        so non-string items survive a JSON round trip.
+        so non-string items survive a JSON round trip.  The seen set is
+        emitted sorted (by repr, so mixed item types never break the
+        sort): raw ``set`` order depends on PYTHONHASHSEED for string
+        items, which would make otherwise-identical checkpoints differ
+        byte-for-byte between processes.
         """
         return {
             "queue": list(self._queue),
-            "seen": list(self._seen),
+            "seen": sorted(self._seen, key=repr),
             "failures": [[item, count] for item, count in self._failures.items()],
             "max_retries": self._max_retries,
             "completed": self.completed,

@@ -50,7 +50,7 @@ class Checkpointer:
         every_pages: int = 25,
         every_seconds: float = 0.0,
         clock: Clock | None = None,
-    ):
+    ) -> None:
         if every_pages < 1:
             raise ValueError("every_pages must be >= 1")
         if every_seconds < 0:

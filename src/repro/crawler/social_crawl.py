@@ -14,7 +14,7 @@ contain plenty of non-Dissenter Gab accounts that must be filtered.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable
 
 import networkx as nx
 
@@ -195,7 +195,10 @@ def induce_dissenter_graph(
     """
     members = set(dissenter_gab_ids)
     graph = nx.DiGraph()
-    graph.add_nodes_from(members)
+    # Insert nodes in sorted order: networkx iterates nodes in insertion
+    # order, and that order flows into degree arrays and tie-broken
+    # top-K report lines — set order must never reach them.
+    graph.add_nodes_from(sorted(members))
     for target, followers in crawl.followers.items():
         if target not in members:
             continue

@@ -13,8 +13,8 @@ Nothing here touches a real socket; the byte-level artefacts (headers,
 HTML/JSON bodies, status codes, Set-Cookie) are real, the wire is simulated.
 """
 
-from repro.net.clock import SystemClock, VirtualClock
 from repro.net.client import ClientStats, HttpClient
+from repro.net.clock import SystemClock, VirtualClock
 from repro.net.cookies import Cookie, CookieJar
 from repro.net.errors import (
     ConnectError,

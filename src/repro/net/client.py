@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
+from repro.net.clock import Clock
 from repro.net.cookies import CookieJar
 from repro.net.errors import NetworkError, TimeoutError, TooManyRedirects
-from repro.net.http import Headers, Request, Response, url_with_params
+from repro.net.http import Request, Response, url_with_params
 from repro.net.transport import Transport
 
 __all__ = ["ClientStats", "HttpClient"]
@@ -83,7 +84,7 @@ class HttpClient:
         backoff: float = 0.5,
         max_redirects: int = 5,
         timeout: float = 30.0,
-    ):
+    ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self._transport = transport
@@ -96,7 +97,7 @@ class HttpClient:
         self.stats = ClientStats()
 
     @property
-    def clock(self):
+    def clock(self) -> Clock:
         """The transport's clock (for callers that pace themselves)."""
         return self._transport.clock  # type: ignore[attr-defined]
 
@@ -218,7 +219,7 @@ class HttpClient:
             follow_redirects=follow_redirects,
         )
 
-    def get_or_none(self, url: str, **kwargs) -> Response | None:
+    def get_or_none(self, url: str, **kwargs: Any) -> Response | None:
         """GET a URL; swallow substrate errors and return None.
 
         Convenience used by bulk crawl loops that account for failures

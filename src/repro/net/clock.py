@@ -48,7 +48,7 @@ class VirtualClock:
 
     DISSENTER_LAUNCH = 1_550_000_000.0  # 2019-02-12T19:33:20Z
 
-    def __init__(self, epoch: float = DISSENTER_LAUNCH):
+    def __init__(self, epoch: float = DISSENTER_LAUNCH) -> None:
         self._now = float(epoch)
         self.total_slept = 0.0
         self._flight: float | None = None

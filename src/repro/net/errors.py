@@ -31,7 +31,7 @@ class CrawlKilled(RuntimeError):
     dying, and the only recovery is resuming from the last checkpoint.
     """
 
-    def __init__(self, requests_served: int):
+    def __init__(self, requests_served: int) -> None:
         super().__init__(
             f"crawl killed by injector after {requests_served} requests"
         )
@@ -41,7 +41,7 @@ class CrawlKilled(RuntimeError):
 class ConnectError(NetworkError):
     """No origin is registered for the requested host (DNS/connect failure)."""
 
-    def __init__(self, host: str):
+    def __init__(self, host: str) -> None:
         super().__init__(f"cannot connect to host {host!r}")
         self.host = host
 
@@ -49,7 +49,7 @@ class ConnectError(NetworkError):
 class TimeoutError(NetworkError):
     """The (simulated) request exceeded its deadline."""
 
-    def __init__(self, url: str, timeout: float):
+    def __init__(self, url: str, timeout: float) -> None:
         super().__init__(f"request to {url} timed out after {timeout:.3f}s")
         self.url = url
         self.timeout = timeout
@@ -58,7 +58,7 @@ class TimeoutError(NetworkError):
 class TooManyRedirects(NetworkError):
     """Redirect chain exceeded the client's limit."""
 
-    def __init__(self, url: str, limit: int):
+    def __init__(self, url: str, limit: int) -> None:
         super().__init__(f"exceeded {limit} redirects fetching {url}")
         self.url = url
         self.limit = limit
@@ -67,7 +67,7 @@ class TooManyRedirects(NetworkError):
 class HTTPStatusError(NetworkError):
     """Raised by ``Response.raise_for_status`` on 4xx/5xx responses."""
 
-    def __init__(self, status: int, url: str):
+    def __init__(self, status: int, url: str) -> None:
         super().__init__(f"HTTP {status} for {url}")
         self.status = status
         self.url = url
@@ -76,7 +76,7 @@ class HTTPStatusError(NetworkError):
 class RateLimitExceeded(NetworkError):
     """A client-side limiter refused to issue the request."""
 
-    def __init__(self, key: str, retry_after: float):
+    def __init__(self, key: str, retry_after: float) -> None:
         super().__init__(
             f"rate limit exhausted for {key!r}; retry after {retry_after:.3f}s"
         )

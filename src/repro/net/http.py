@@ -42,7 +42,7 @@ class Headers:
     Multiple values per name are supported (needed for Set-Cookie).
     """
 
-    def __init__(self, items: Mapping[str, str] | Iterable[tuple[str, str]] = ()):
+    def __init__(self, items: Mapping[str, str] | Iterable[tuple[str, str]] = ()) -> None:
         self._items: list[tuple[str, str]] = []
         if isinstance(items, Mapping):
             items = items.items()

@@ -29,7 +29,7 @@ class TokenBucket:
         clock: time source.
     """
 
-    def __init__(self, rate: float, capacity: float, clock: Clock):
+    def __init__(self, rate: float, capacity: float, clock: Clock) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive")
         if capacity <= 0:
@@ -109,7 +109,7 @@ class KeyedRateLimiter:
         capacity: float,
         clock: Clock,
         max_keys: int = DEFAULT_MAX_KEYS,
-    ):
+    ) -> None:
         if max_keys < 1:
             raise ValueError("max_keys must be >= 1")
         self._rate = rate
@@ -168,7 +168,7 @@ class HeaderRateLimiter:
     REMAINING_HEADER = "X-RateLimit-Remaining"
     RESET_HEADER = "X-RateLimit-Reset"
 
-    def __init__(self, clock: Clock, floor_interval: float = 1.0):
+    def __init__(self, clock: Clock, floor_interval: float = 1.0) -> None:
         if floor_interval < 0:
             raise ValueError("floor_interval must be >= 0")
         self._clock = clock

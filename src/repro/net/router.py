@@ -72,7 +72,7 @@ class App:
             return Response.html(...)
     """
 
-    def __init__(self, host: str, deterministic_render: bool = False):
+    def __init__(self, host: str, deterministic_render: bool = False) -> None:
         self.host = host.lower()
         # True promises that route dispatch (render) is a pure function of
         # the request — no mutable server state, no clock reads — so the

@@ -12,13 +12,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
 from repro.net.clock import Clock, VirtualClock
 from repro.net.errors import ConnectError, CrawlKilled, TimeoutError
 from repro.net.http import Request, Response
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard, types only
+    from repro.net.router import App
 
 __all__ = ["FaultPlan", "LoopbackTransport", "Transport"]
 
@@ -73,7 +76,7 @@ class LoopbackTransport:
         latency: float = 0.05,
         faults: FaultPlan | None = None,
         seed: int = 0,
-    ):
+    ) -> None:
         self.clock: Clock = clock if clock is not None else VirtualClock()
         self._latency = latency
         self._faults = faults or FaultPlan()
@@ -88,7 +91,7 @@ class LoopbackTransport:
         self.render_misses = 0
         self.faults_injected = 0
 
-    def register(self, app) -> None:
+    def register(self, app: App) -> None:
         """Register an origin App; its ``host`` becomes routable."""
         self._origins[app.host] = app
 
@@ -157,7 +160,7 @@ class LoopbackTransport:
         self.requests_served += 1
         return response
 
-    def _dispatch(self, app, request: Request) -> Response:
+    def _dispatch(self, app: App, request: Request) -> Response:
         """Run an origin app, memoising pure renders.
 
         Apps that declare ``deterministic_render`` promise their route

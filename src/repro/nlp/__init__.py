@@ -15,6 +15,7 @@ from repro.nlp.adasyn import adasyn_oversample
 from repro.nlp.classifier import CommentClassifier, TrainedCommentClassifier
 from repro.nlp.dictionary import HateDictionary, build_synthetic_hatebase
 from repro.nlp.langid import LanguageIdentifier, default_language_identifier
+from repro.nlp.mlp import MLPClassifier
 from repro.nlp.model_select import (
     CrossValResult,
     GridSearchResult,
@@ -26,11 +27,10 @@ from repro.nlp.model_select import (
 )
 from repro.nlp.ngrams import extract_ngrams, ngram_counts
 from repro.nlp.stem import PorterStemmer, stem
-from repro.nlp.mlp import MLPClassifier
 from repro.nlp.svm import LinearSVM, OneVsRestSVM
-from repro.nlp.tree import DecisionTreeClassifier
 from repro.nlp.tokenize import clean_text, tokenize
 from repro.nlp.train_data import LabeledCorpus, build_davidson_style_corpus
+from repro.nlp.tree import DecisionTreeClassifier
 from repro.nlp.vectorize import CountVectorizer, TfidfVectorizer
 
 __all__ = [

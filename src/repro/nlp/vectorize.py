@@ -8,7 +8,6 @@ document frequency.
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from typing import Callable, Sequence
 
@@ -116,6 +115,9 @@ class TfidfVectorizer(CountVectorizer):
         n_docs = len(documents)
         doc_freq = np.zeros(len(self.vocabulary_))
         for doc in documents:
+            # Deduplication only: each distinct feature adds exactly 1.0
+            # to its column, and float additions of 1.0 commute exactly.
+            # repro: allow DET003 order-independent count increments
             for feature in set(self._analyzer(doc)):
                 col = self.vocabulary_.get(feature)
                 if col is not None:

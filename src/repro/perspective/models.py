@@ -15,7 +15,7 @@ LIKELY_TO_REJECT, ATTACK_ON_AUTHOR.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable
 
 from repro.perspective.lexicon import CommentFeatures, extract_features
 

@@ -31,7 +31,6 @@ from repro.platform.entities import (
     CommentUrl,
     DissenterUser,
     USER_FLAG_NAMES,
-    VIEW_FILTER_NAMES,
 )
 from repro.platform.gab import GabUniverse
 from repro.platform.ids import ObjectIdFactory

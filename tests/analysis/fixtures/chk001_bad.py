@@ -1,0 +1,30 @@
+"""CHK001 bad fixture: checkpointed fields missing from serializers."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageCursor:
+    offset: int = 0
+    page: int = 0
+    retries: int = 0                        # line 10: absent from to_dict
+
+    def to_dict(self) -> dict:
+        return {"offset": self.offset, "page": self.page}
+
+
+@dataclass
+class CrawledUser:
+    username: str = ""
+    joined: str = ""
+    badge: str = ""                         # line 20: absent from payload
+
+
+def result_to_payload(user: CrawledUser) -> dict:
+    return {"username": user.username, "joined": user.joined}
+
+
+def result_from_payload(payload: dict) -> CrawledUser:
+    return CrawledUser(
+        username=payload["username"], joined=payload["joined"]
+    )

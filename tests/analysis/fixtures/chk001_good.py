@@ -1,0 +1,25 @@
+"""CHK001 good fixture: every checkpointed field is registered."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StageCursor:
+    offset: int = 0
+    page: int = 0
+    retries: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "offset": self.offset,
+            "page": self.page,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StageCursor":
+        return cls(
+            offset=payload["offset"],
+            page=payload["page"],
+            retries=payload["retries"],
+        )

@@ -1,0 +1,24 @@
+"""CONC001 bad fixture: stats mutated outside lock-guarded APIs."""
+
+import threading
+
+
+class ClientStats:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.retries = 0
+
+    def poke(self) -> None:
+        self.requests += 1                  # line 13: unguarded self-write
+
+    def reset_retries(self) -> None:
+        self.retries = 0                    # line 16: unguarded self-write
+
+
+class Worker:
+    def __init__(self, client) -> None:
+        self.client = client
+
+    def run(self) -> None:
+        self.client.stats.requests += 1     # line 24: external stats write

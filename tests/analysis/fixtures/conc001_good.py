@@ -1,0 +1,30 @@
+"""CONC001 good fixture: every stats mutation goes through the lock."""
+
+import threading
+
+
+class ClientStats:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.retries = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"requests": self.requests, "retries": self.retries}
+
+
+class Worker:
+    def __init__(self, client) -> None:
+        self.client = client
+
+    def run(self) -> None:
+        self.client.stats.bump()

@@ -1,0 +1,19 @@
+"""DET001 good fixture: all time flows through an injected Clock."""
+
+from datetime import datetime, timezone
+
+from repro.net.clock import Clock
+
+
+def stamp_crawl_page(clock: Clock) -> float:
+    return clock.now()
+
+
+def wait_politely(clock: Clock) -> None:
+    clock.sleep(1.0)
+
+
+def render_epoch(epoch: float) -> str:
+    # Converting an *explicit* epoch is fine; only argless now() reads
+    # the host clock.
+    return datetime.fromtimestamp(epoch, tz=timezone.utc).isoformat()

@@ -1,0 +1,21 @@
+"""DET002 bad fixture: unseeded / global-state randomness."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()              # line 9: global stdlib RNG
+
+
+def make_rng() -> random.Random:
+    return random.Random()              # line 13: unseeded Random()
+
+
+def entropy_rng() -> np.random.Generator:
+    return np.random.default_rng()      # line 17: unseeded default_rng
+
+
+def shuffle_in_place(items: list) -> None:
+    np.random.shuffle(items)            # line 21: numpy global state

@@ -1,0 +1,33 @@
+"""DET003 bad fixture: unordered iteration reaching ordered consumers."""
+
+
+def collect_ids(raw_ids: list[str]) -> list[str]:
+    seen = set(raw_ids)
+    return list(seen)                       # line 6: list() over a set
+
+
+def walk_members(members: set[int]) -> list[int]:
+    out = []
+    for member in members:                  # line 11: for over set arg
+        out.append(member * 2)
+    return out
+
+
+def render_report(tags: frozenset) -> str:
+    return ", ".join(str(t) for t in tags)  # line 17: genexp over set
+
+
+def bucket_counts(counts: dict) -> list:
+    return [k for k in counts.keys()]       # line 21: .keys() iteration
+
+
+def union_order(a: set[str], b: set[str]) -> list[str]:
+    return [x for x in a | b]               # line 25: comp over set union
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self._visited = set()
+
+    def visited_list(self) -> list:
+        return list(self._visited)          # line 33: list() over set attr

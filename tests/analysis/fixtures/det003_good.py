@@ -1,0 +1,31 @@
+"""DET003 good fixture: sets consumed order-insensitively or sorted."""
+
+
+def collect_ids(raw_ids: list[str]) -> list[str]:
+    return sorted(set(raw_ids))
+
+
+def walk_members(members: set[int]) -> list[int]:
+    return [member * 2 for member in sorted(members)]
+
+
+def count_members(members: set[int]) -> int:
+    return len(members)
+
+
+def overlap(a: set[str], b: set[str]) -> int:
+    return len(a & b)
+
+
+def contains(members: set[int], candidate: int) -> bool:
+    return candidate in members
+
+
+def dedupe(values: list[str]) -> frozenset:
+    # A set comprehension over a set is fine: the result is unordered.
+    return frozenset(v.lower() for v in set(values))
+
+
+def iterate_dict(counts: dict) -> list[str]:
+    # Dicts iterate in insertion order — deterministic.
+    return [key for key in counts]

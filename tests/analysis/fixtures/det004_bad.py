@@ -1,0 +1,15 @@
+"""DET004 bad fixture: sets constructed inside serializers."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PartialCrawl:
+    ids: list[str] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        return {
+            "ids": list({i.lower() for i in self.ids}),     # line 13: set comp
+            "labels": list(set(self.labels)),               # line 14: set()
+        }

@@ -1,0 +1,17 @@
+"""Suppression fixture: one valid, one reasonless, one unknown code."""
+
+import time
+
+
+def stamp() -> float:
+    # Diagnostics only; never reaches compared bytes.
+    return time.time()  # repro: allow DET001 wall-time diagnostics
+
+
+def stamp_again() -> float:
+    return time.time()  # repro: allow DET001
+
+
+def walk(members: set[int]) -> list[int]:
+    # repro: allow ZZZ999 not a real code
+    return [m for m in members]

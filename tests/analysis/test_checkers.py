@@ -1,0 +1,155 @@
+"""Each checker against its known-good / known-bad fixture pair."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_fixture(name: str) -> list:
+    """All findings for one fixture file, paths relative to fixtures/."""
+    return analyze_paths([FIXTURES / name], root=FIXTURES)
+
+
+def lines_for(findings: list, code: str) -> list[int]:
+    return [f.line for f in findings if f.code == code]
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall-clock access.
+# ----------------------------------------------------------------------
+
+def test_det001_bad_flags_every_wall_clock_read():
+    findings = run_fixture("det001_bad.py")
+    assert lines_for(findings, "DET001") == [9, 13, 17, 21]
+
+
+def test_det001_good_is_clean():
+    assert run_fixture("det001_good.py") == []
+
+
+def test_det001_findings_carry_hint_and_message():
+    (first, *_rest) = run_fixture("det001_bad.py")
+    assert first.code == "DET001"
+    assert "clock" in first.hint.lower()
+    assert "time.time" in first.message
+
+
+# ----------------------------------------------------------------------
+# DET002 — unseeded randomness.
+# ----------------------------------------------------------------------
+
+def test_det002_bad_flags_every_unseeded_rng():
+    findings = run_fixture("det002_bad.py")
+    assert lines_for(findings, "DET002") == [9, 13, 17, 21]
+
+
+def test_det002_good_is_clean():
+    assert run_fixture("det002_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration.
+# ----------------------------------------------------------------------
+
+def test_det003_bad_flags_every_unordered_iteration():
+    findings = run_fixture("det003_bad.py")
+    assert lines_for(findings, "DET003") == [6, 11, 17, 21, 25, 33]
+
+
+def test_det003_good_is_clean():
+    assert run_fixture("det003_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — sets reaching serialized payloads.
+# ----------------------------------------------------------------------
+
+def test_det004_bad_flags_sets_inside_serializers():
+    findings = run_fixture("det004_bad.py")
+    assert lines_for(findings, "DET004") == [13, 14]
+
+
+def test_det004_good_is_clean():
+    assert run_fixture("det004_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# CONC001 — unguarded stats writes.
+# ----------------------------------------------------------------------
+
+def test_conc001_bad_flags_unguarded_writes():
+    findings = run_fixture("conc001_bad.py")
+    assert lines_for(findings, "CONC001") == [13, 16, 24]
+
+
+def test_conc001_good_is_clean():
+    assert run_fixture("conc001_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# CHK001 — checkpoint schema drift (project-level pass).
+# ----------------------------------------------------------------------
+
+def test_chk001_bad_flags_unregistered_fields():
+    findings = run_fixture("chk001_bad.py")
+    chk = [f for f in findings if f.code == "CHK001"]
+    assert [f.line for f in chk] == [10, 20]
+    assert "StageCursor.retries" in chk[0].message
+    assert "CrawledUser.badge" in chk[1].message
+
+
+def test_chk001_good_is_clean():
+    assert run_fixture("chk001_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions fixture: valid, reasonless, unknown-code.
+# ----------------------------------------------------------------------
+
+def test_suppression_fixture():
+    findings = run_fixture("suppressions.py")
+    by_code = {}
+    for f in findings:
+        by_code.setdefault(f.code, []).append(f.line)
+    # Line 8's DET001 is validly suppressed; line 12's is not (no reason).
+    assert by_code.get("DET001") == [12]
+    # Line 16's suppression names an unknown code, so DET003 still fires.
+    assert by_code.get("DET003") == [17]
+    # SUP001: reasonless (line 12) and unknown-code (line 16).
+    assert by_code.get("SUP001") == [12, 16]
+
+
+# ----------------------------------------------------------------------
+# Catalog coherence.
+# ----------------------------------------------------------------------
+
+def test_catalog_codes_are_unique_and_documented():
+    from repro.analysis.checkers import CATALOG, PROJECT_CATALOG, known_codes
+
+    checkers = [*CATALOG, *PROJECT_CATALOG]
+    codes = [c.code for c in checkers]
+    assert len(codes) == len(set(codes))
+    for checker in checkers:
+        assert checker.rationale, checker.code
+        assert checker.hint, checker.code
+    assert set(codes) | {"SUP001"} == known_codes()
+
+
+@pytest.mark.parametrize(
+    "bad, good",
+    [
+        ("det001_bad.py", "det001_good.py"),
+        ("det002_bad.py", "det002_good.py"),
+        ("det003_bad.py", "det003_good.py"),
+        ("det004_bad.py", "det004_good.py"),
+        ("conc001_bad.py", "conc001_good.py"),
+        ("chk001_bad.py", "chk001_good.py"),
+    ],
+)
+def test_every_bad_fixture_finds_something_good_finds_nothing(bad, good):
+    assert run_fixture(bad)
+    assert run_fixture(good) == []

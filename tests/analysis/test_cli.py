@@ -1,0 +1,144 @@
+"""CLI behaviour: exit codes, formats, baseline workflow, live tree."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_source
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+REPO_ROOT = Path(__file__).parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_module(*args: str, cwd: Path = REPO_ROOT):
+    """``python -m repro.analysis <args>`` in a real subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exit codes (the CI contract), via real subprocesses.
+# ----------------------------------------------------------------------
+
+def test_module_exits_nonzero_on_bad_fixture():
+    proc = run_module(str(FIXTURES / "det001_bad.py"), "--no-baseline")
+    assert proc.returncode == EXIT_FINDINGS
+    assert "DET001" in proc.stdout
+    assert "hint:" in proc.stdout
+
+
+def test_module_exits_zero_on_good_fixture():
+    proc = run_module(str(FIXTURES / "det001_good.py"), "--no-baseline")
+    assert proc.returncode == EXIT_CLEAN
+    assert "clean" in proc.stdout
+
+
+def test_module_exits_usage_on_missing_path():
+    proc = run_module(str(FIXTURES / "no_such_file.py"))
+    assert proc.returncode == EXIT_USAGE
+    assert "error:" in proc.stderr
+
+
+def test_live_tree_is_clean_modulo_committed_baseline():
+    """The acceptance gate: ``python -m repro.analysis src/repro`` == 0."""
+    proc = run_module("src/repro")
+    assert proc.returncode == EXIT_CLEAN, proc.stdout + proc.stderr
+
+
+# ----------------------------------------------------------------------
+# In-process: formats, select, baseline workflow.
+# ----------------------------------------------------------------------
+
+def test_json_format(capsys):
+    rc = main([str(FIXTURES / "det002_bad.py"), "--no-baseline",
+               "--format", "json"])
+    assert rc == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 4
+    assert {f["code"] for f in payload["findings"]} == {"DET002"}
+    assert all(f["hint"] for f in payload["findings"])
+
+
+def test_select_filters_codes(capsys):
+    # det004_bad triggers both DET003 (list over a set) and DET004.
+    rc = main([str(FIXTURES / "det004_bad.py"), "--no-baseline",
+               "--select", "DET004", "--format", "json"])
+    assert rc == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert {f["code"] for f in payload["findings"]} == {"DET004"}
+
+
+def test_list_checkers(capsys):
+    rc = main(["--list-checkers"])
+    assert rc == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for code in ("DET001", "DET002", "DET003", "DET004",
+                 "CONC001", "CHK001", "SUP001"):
+        assert code in out
+
+
+def test_write_baseline_then_clean(tmp_path, capsys, monkeypatch):
+    """--write-baseline accepts the tree; the next run is clean."""
+    bad = tmp_path / "module.py"
+    bad.write_text("import time\nt = time.time()\n")
+    baseline = tmp_path / "analysis-baseline.json"
+    monkeypatch.chdir(tmp_path)
+
+    assert main([str(bad), "--write-baseline"]) == EXIT_CLEAN
+    assert baseline.exists()
+    capsys.readouterr()
+
+    assert main([str(bad), "--baseline", str(baseline)]) == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out
+
+    # A *new* finding is still caught against that baseline.
+    bad.write_text("import time\nt = time.time()\nu = time.time_ns()\n")
+    assert main([str(bad), "--baseline", str(baseline)]) == EXIT_FINDINGS
+
+
+def test_repro_cli_forwards_analyze_subcommand():
+    """``repro analyze`` is a thin alias for ``python -m repro.analysis``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "analyze",
+         str(FIXTURES / "det001_bad.py"), "--no-baseline"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == EXIT_FINDINGS
+    assert "DET001" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# The negative control the issue demands: deliberately adding a
+# wall-clock call to crawler code must fail the gate.
+# ----------------------------------------------------------------------
+
+def test_injected_wall_clock_in_crawler_is_caught():
+    source = (REPO_ROOT / "src/repro/crawler/frontier.py").read_text()
+    assert analyze_source(source, "src/repro/crawler/frontier.py") == []
+    sabotaged = source + (
+        "\n\ndef _written_at() -> float:\n"
+        "    import time\n"
+        "    return time.time()\n"
+    )
+    findings = analyze_source(sabotaged, "src/repro/crawler/frontier.py")
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_injected_set_serialization_in_checkpoint_is_caught():
+    source = (REPO_ROOT / "src/repro/crawler/checkpoint.py").read_text()
+    assert analyze_source(source, "src/repro/crawler/checkpoint.py") == []
+    sabotaged = source + (
+        "\n\ndef to_state(ids: list) -> dict:\n"
+        "    return {\"ids\": list(set(ids))}\n"
+    )
+    findings = analyze_source(sabotaged, "src/repro/crawler/checkpoint.py")
+    assert "DET004" in {f.code for f in findings}

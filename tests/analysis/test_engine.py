@@ -1,0 +1,186 @@
+"""Engine mechanics: suppressions, baseline round trips, output shapes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, analyze_source
+from repro.analysis.engine import Finding, ParsedModule, iter_python_files
+
+
+# ----------------------------------------------------------------------
+# Suppression scope.
+# ----------------------------------------------------------------------
+
+def test_same_line_suppression_with_reason_fires():
+    findings = analyze_source(
+        "import time\n"
+        "t = time.time()  # repro: allow DET001 diagnostics only\n"
+    )
+    assert findings == []
+
+
+def test_preceding_comment_line_suppression_covers_next_line():
+    findings = analyze_source(
+        "import time\n"
+        "# repro: allow DET001 diagnostics only\n"
+        "t = time.time()\n"
+    )
+    assert findings == []
+
+
+def test_suppression_does_not_reach_two_lines_down():
+    findings = analyze_source(
+        "import time\n"
+        "# repro: allow DET001 diagnostics only\n"
+        "x = 1\n"
+        "t = time.time()\n"
+    )
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_suppression_is_code_specific():
+    findings = analyze_source(
+        "import time\n"
+        "t = time.time()  # repro: allow DET003 wrong code entirely\n"
+    )
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_multi_code_suppression():
+    findings = analyze_source(
+        "import time, random\n"
+        "t = time.time() + random.random()"
+        "  # repro: allow DET001, DET002 fixture exercising both\n"
+    )
+    assert findings == []
+
+
+def test_reasonless_suppression_reports_sup001_and_does_not_fire():
+    findings = analyze_source(
+        "import time\n"
+        "t = time.time()  # repro: allow DET001\n"
+    )
+    assert sorted(f.code for f in findings) == ["DET001", "SUP001"]
+
+
+def test_unknown_code_suppression_reports_sup001():
+    findings = analyze_source(
+        "x = 1  # repro: allow ABC123 there is no such checker\n"
+    )
+    assert [f.code for f in findings] == ["SUP001"]
+    assert "ABC123" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Finding / ParsedModule surface.
+# ----------------------------------------------------------------------
+
+def test_finding_render_and_dict_round_trip():
+    finding = Finding(
+        code="DET001", path="a/b.py", line=3, col=4,
+        message="m", hint="h", line_text="t = time.time()",
+    )
+    assert finding.render() == "a/b.py:3:5 DET001 m"
+    payload = finding.to_dict()
+    assert payload["line"] == 3 and payload["col"] == 4
+    assert Finding(**payload) == finding
+
+
+def test_parsed_module_rejects_syntax_errors():
+    with pytest.raises(SyntaxError):
+        ParsedModule.from_source("def broken(:\n", "bad.py")
+
+
+def test_findings_sorted_by_location():
+    findings = analyze_source(
+        "import time, random\n"
+        "b = random.random()\n"
+        "a = time.time()\n"
+    )
+    assert [(f.line, f.code) for f in findings] == [
+        (2, "DET002"), (3, "DET001"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Baseline semantics.
+# ----------------------------------------------------------------------
+
+def _finding(code="DET001", path="x.py", line=1, text="t = time.time()"):
+    return Finding(
+        code=code, path=path, line=line, col=0,
+        message="m", hint="h", line_text=text,
+    )
+
+
+def test_baseline_subtract_is_line_number_insensitive():
+    baseline = Baseline.from_findings([_finding(line=10)])
+    # Same code/path/text at a different line: still covered.
+    assert baseline.subtract([_finding(line=99)]) == []
+
+
+def test_baseline_subtract_is_multiset():
+    baseline = Baseline.from_findings([_finding(line=1)])
+    duplicates = [_finding(line=1), _finding(line=2)]
+    survivors = baseline.subtract(duplicates)
+    # One entry covers one occurrence; the second survives.
+    assert survivors == [_finding(line=2)]
+
+
+def test_baseline_does_not_cover_different_text_or_code():
+    baseline = Baseline.from_findings([_finding()])
+    assert baseline.subtract([_finding(code="DET002")]) == [
+        _finding(code="DET002")
+    ]
+    assert baseline.subtract([_finding(text="other line")]) == [
+        _finding(text="other line")
+    ]
+
+
+def test_baseline_save_load_round_trip(tmp_path: Path):
+    baseline = Baseline.from_findings(
+        [_finding(), _finding(), _finding(code="DET003", text="list(s)")]
+    )
+    target = tmp_path / "analysis-baseline.json"
+    baseline.save(target)
+    loaded = Baseline.load(target)
+    assert len(loaded) == 3
+    assert loaded.to_payload() == baseline.to_payload()
+    # The on-disk form is deterministic (sorted keys, trailing newline).
+    assert target.read_text().endswith("\n")
+    assert json.loads(target.read_text())["version"] == 1
+
+
+def test_baseline_rejects_bad_documents(tmp_path: Path):
+    with pytest.raises(ValueError):
+        Baseline.from_payload({"version": 99, "entries": []})
+    with pytest.raises(ValueError):
+        Baseline.from_payload({"version": 1, "entries": [{"code": "X"}]})
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    with pytest.raises(ValueError):
+        Baseline.load(broken)
+
+
+# ----------------------------------------------------------------------
+# File discovery.
+# ----------------------------------------------------------------------
+
+def test_iter_python_files_sorted_and_skips_pycache(tmp_path: Path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "a.cpython-311.py").write_text("x = 1\n")
+    (tmp_path / "notes.txt").write_text("not python\n")
+    names = [p.name for p in iter_python_files([tmp_path])]
+    assert names == ["a.py", "b.py"]
+
+
+def test_iter_python_files_rejects_non_python_file(tmp_path: Path):
+    target = tmp_path / "notes.txt"
+    target.write_text("hi\n")
+    with pytest.raises(FileNotFoundError):
+        list(iter_python_files([target]))

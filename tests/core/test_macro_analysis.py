@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.macro import analyze_gab_growth, comment_concentration
+from repro.core.macro import analyze_gab_growth
 from repro.crawler.records import CrawledGabAccount
 
 

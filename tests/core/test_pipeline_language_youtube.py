@@ -1,6 +1,5 @@
 """Tests for the pipeline report, language analysis, and YouTube analysis."""
 
-import pytest
 
 
 class TestPipelineIntegrity:

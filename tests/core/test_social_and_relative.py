@@ -1,7 +1,6 @@
 """Tests for the social network analysis, hateful core, and Fig. 6/Table 3."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.core.socialnet import analyze_social_network, extract_hateful_core

@@ -1,6 +1,5 @@
 """Tests for comment-thread structure analysis."""
 
-import pytest
 
 from repro.core.threads import analyze_threads
 from repro.crawler.records import CrawlResult, CrawledComment, CrawledUrl

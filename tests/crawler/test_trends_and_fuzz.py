@@ -15,10 +15,9 @@ from repro.crawler.trends_crawl import TrendsCrawler
 from repro.net import HttpClient, LoopbackTransport, VirtualClock
 from repro.platform.apps.dissenter_app import DissenterApp
 from repro.platform.dissenter import DissenterState
-from repro.platform.entities import Comment, DissenterUser
+from repro.platform.entities import Comment, CommentUrl, DissenterUser
 from repro.platform.ids import ObjectIdFactory
 from repro.platform.urlgen import UrlUniverse
-from repro.platform.entities import CommentUrl
 
 
 class TestTrendsCrawler:

@@ -1,6 +1,5 @@
 """Router unit tests (pattern compilation, dispatch, middleware)."""
 
-import pytest
 
 from repro.net.http import Request, Response
 from repro.net.router import App, Route, _compile_pattern

@@ -8,7 +8,6 @@ from repro.net import (
     FaultPlan,
     HttpClient,
     LoopbackTransport,
-    Request,
     Response,
     TimeoutError,
     TooManyRedirects,

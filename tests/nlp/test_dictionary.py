@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.nlp.dictionary import (
-    AMBIGUOUS_TERMS,
     HATEBASE_SIZE,
     SUBSTRING_TRAP_INNOCUOUS,
     SUBSTRING_TRAP_TERM,

@@ -121,7 +121,7 @@ class TestModelComparison:
 
     def test_svm_wins_on_davidson_style_corpus(self):
         from repro.nlp.adasyn import adasyn_oversample
-        from repro.nlp.model_select import cross_validate, weighted_f1
+        from repro.nlp.model_select import cross_validate
         from repro.nlp.svm import OneVsRestSVM
         from repro.nlp.train_data import build_davidson_style_corpus
         from repro.nlp.vectorize import TfidfVectorizer

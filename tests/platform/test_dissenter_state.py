@@ -1,7 +1,5 @@
 """Tests for the Dissenter platform state generator."""
 
-import numpy as np
-import pytest
 
 from repro.platform.config import WorldConfig
 from repro.platform.entities import USER_FLAG_NAMES, VIEW_FILTER_NAMES

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.platform import WorldConfig, build_world
-from repro.platform.socialgraph import SocialGraph, build_social_graph
+from repro.platform.socialgraph import SocialGraph
 
 
 class TestSocialGraphPrimitives:
