@@ -11,6 +11,7 @@ DET003    iteration over an unordered ``set``/``frozenset``/``.keys()``
 DET004    set construction inside a serializer (checkpoint/report bytes)
 CONC001   stats-object writes outside the lock-guarded mutation APIs
 CHK001    checkpointed dataclass field missing from its schema
+CHK002    store-persisted dataclass field missing from its JSONL codec
 SUP001    malformed suppression comments (engine-level)
 ========  ==============================================================
 
@@ -534,7 +535,7 @@ def _collect_set_attributes(cls: ast.ClassDef) -> set[str]:
 
 _SERIALIZER_NAMES = frozenset({
     "to_payload", "to_dict", "to_state", "to_json",
-    "result_to_payload", "dumps_result",
+    "result_to_payload", "dumps_result", "snapshot",
 })
 
 
@@ -792,6 +793,68 @@ class CheckpointSchemaChecker(ProjectChecker):
                 )
 
 
+# ----------------------------------------------------------------------
+# CHK002 — store codec drift (project-level).
+# ----------------------------------------------------------------------
+
+#: store-persisted dataclass -> its encode/decode codec pair in
+#: :mod:`repro.store.codecs`.
+_CODEC_FUNCTIONS: dict[str, tuple[str, str]] = {
+    "CrawledUser": ("encode_user", "decode_user"),
+    "CrawledUrl": ("encode_url", "decode_url"),
+    "CrawledComment": ("encode_comment", "decode_comment"),
+}
+
+
+class StoreCodecChecker(ProjectChecker):
+    code = "CHK002"
+    name = "store codec drift"
+    rationale = (
+        "a field added to a store-persisted dataclass but not to its "
+        "JSONL codec is dropped from every sealed segment — the corpus "
+        "silently loses it across a checkpoint-v3 resume while an "
+        "uninterrupted run keeps it"
+    )
+    hint = (
+        "register the field in the matching encode_*/decode_* codec "
+        "(repro.store.codecs, DESIGN.md §10)"
+    )
+
+    def check_project(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterator[Finding]:
+        # Field names appear as string constants inside the codec
+        # functions; collect them per record class, mirroring CHK001.
+        codec_strings: dict[str, set[str]] = {}
+        for module in modules:
+            for node in module.tree.body:
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                for cls_name, functions in _CODEC_FUNCTIONS.items():
+                    if node.name in functions:
+                        codec_strings.setdefault(cls_name, set()).update(
+                            _string_constants(node)
+                        )
+        if not codec_strings:
+            return
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                strings = codec_strings.get(node.name)
+                if strings is None or not _is_dataclass(node):
+                    continue
+                where = "/".join(_CODEC_FUNCTIONS[node.name])
+                for name, field_node in _dataclass_fields(node):
+                    if name not in strings:
+                        yield module.finding(
+                            self.code, field_node,
+                            f"field {node.name}.{name} is not encoded by "
+                            f"its store codec ({where})",
+                            self.hint,
+                        )
+
+
 def _is_dataclass(cls: ast.ClassDef) -> bool:
     for decorator in cls.decorator_list:
         node = decorator.func if isinstance(decorator, ast.Call) else decorator
@@ -842,6 +905,7 @@ CATALOG: tuple[Checker, ...] = (
 
 PROJECT_CATALOG: tuple[ProjectChecker, ...] = (
     CheckpointSchemaChecker(),
+    StoreCodecChecker(),
 )
 
 

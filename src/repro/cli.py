@@ -44,6 +44,15 @@ def _add_crawl_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--parse-workers", type=int, default=0, metavar="W",
         help="worker threads for off-loading page parsing during the "
              "crawl (0 = parse inline; results identical at any W)")
+    parser.add_argument(
+        "--store-dir", type=Path, default=None, metavar="DIR",
+        help="spill sealed corpus segments to this directory; runtime "
+             "checkpoints then reference them by name + hash instead of "
+             "embedding the corpus, so a tick costs O(progress since the "
+             "last tick) — corpus and report are bit-identical either way")
+    parser.add_argument(
+        "--segment-records", type=int, default=4096, metavar="N",
+        help="records per sealed corpus segment (default 4096)")
 
 
 def _add_resume_flags(parser: argparse.ArgumentParser) -> None:
@@ -170,6 +179,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         connections=args.connections,
         parse_workers=args.parse_workers,
+        store_dir=str(args.store_dir) if args.store_dir is not None else None,
+        segment_records=args.segment_records,
     )
     print(f"world: {pipeline.world.summary()}", file=sys.stderr)
     default_state = Path(
@@ -203,6 +214,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         with_faults=args.with_faults,
         connections=args.connections,
         parse_workers=args.parse_workers,
+        store_dir=str(args.store_dir) if args.store_dir is not None else None,
+        segment_records=args.segment_records,
     )
     default_state = Path(str(args.out) + ".state.json")
     checkpointer, resume_payload = _build_runtime(args, pipeline, default_state)

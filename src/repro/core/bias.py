@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.scoring import ScoreStore
 from repro.core.urls import second_level_domain
-from repro.crawler.records import CrawlResult
+from repro.store import Corpus
 from repro.platform.urlgen import ALLSIDES_BIAS
 from repro.stats.hypothesis_tests import KSResult, pairwise_ks
 
@@ -63,7 +63,7 @@ class BiasAnalysis:
 
 
 def analyze_bias(
-    result: CrawlResult,
+    result: Corpus,
     store: ScoreStore | None = None,
     bias_table: Mapping[str, str] | None = None,
     max_per_bias: int = 10_000,

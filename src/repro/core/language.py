@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.crawler.records import CrawlResult
+from repro.store import Corpus
 from repro.nlp.langid import LanguageIdentifier, default_language_identifier
 
 __all__ = ["LanguageAnalysis", "analyze_languages"]
@@ -30,7 +30,7 @@ class LanguageAnalysis:
 
 
 def analyze_languages(
-    result: CrawlResult,
+    result: Corpus,
     identifier: LanguageIdentifier | None = None,
 ) -> LanguageAnalysis:
     """Classify every comment's language."""

@@ -11,7 +11,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.crawler.records import CrawledGabAccount, CrawlResult
+from repro.crawler.records import CrawledGabAccount
+from repro.store import Corpus
 from repro.stats.distributions import ECDF, top_share
 from repro.stats.hypothesis_tests import rank_correlation
 
@@ -101,7 +102,7 @@ class CommentConcentration:
         return ECDF(self.counts)
 
 
-def comment_concentration(result: CrawlResult) -> CommentConcentration:
+def comment_concentration(result: Corpus) -> CommentConcentration:
     """Compute Fig. 3's distribution over the crawled corpus."""
     by_author = result.comments_by_author()
     counts = np.asarray(
@@ -144,7 +145,7 @@ class UserTableStats:
         )
 
 
-def user_table(result: CrawlResult) -> UserTableStats:
+def user_table(result: Corpus) -> UserTableStats:
     """Tabulate hidden-metadata flags/filters over active users.
 
     Only users whose commentAuthor blob was mined (i.e. that have posted)
@@ -188,7 +189,7 @@ class MacroHeadlines:
 
 
 def compute_headlines(
-    result: CrawlResult,
+    result: Corpus,
     launch_epoch: float,
     first_month_days: int = 35,
 ) -> MacroHeadlines:

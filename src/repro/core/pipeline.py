@@ -23,6 +23,7 @@ wall time plus the store's hit/miss counters on the report.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 
@@ -58,10 +59,8 @@ from repro.core.socialnet import (
 from repro.core.urls import UrlTableStats, analyze_urls
 from repro.core.votes import VoteToxicity, analyze_votes
 from repro.core.youtube import YouTubeAnalysis, analyze_youtube
-from repro.crawler.checkpoint import result_from_payload, result_to_payload
 from repro.crawler.dissenter_crawl import DissenterCrawler
 from repro.crawler.gab_enum import GabEnumerationResult, GabEnumerator
-from repro.crawler.records import CrawlResult
 from repro.crawler.reddit_crawl import RedditMatcher, RedditMatchResult
 from repro.crawler.runtime import Checkpointer
 from repro.crawler.shadow import ShadowCrawler
@@ -82,6 +81,7 @@ from repro.perspective.models import PerspectiveModels
 from repro.platform.apps import Origins, build_origins
 from repro.platform.config import WorldConfig
 from repro.platform.world import World, build_world
+from repro.store import Corpus, CorpusStore
 
 __all__ = [
     "CrawlArtifacts",
@@ -104,7 +104,11 @@ PIPELINE_STAGES = (
     "tail",
 )
 
-_PIPELINE_CHECKPOINT_VERSION = 2
+_PIPELINE_CHECKPOINT_VERSION = 3
+#: pipeline envelope versions ``stage_crawl`` resumes from (a v2
+#: envelope embeds ``result_to_payload`` corpora; the store's restore
+#: path recognises the legacy shape).
+_COMPAT_PIPELINE_VERSIONS = (2, 3)
 
 
 def _stage_done(stage: str, name: str) -> bool:
@@ -121,7 +125,7 @@ class CrawlArtifacts:
     """
 
     gab_enumeration: GabEnumerationResult
-    corpus: CrawlResult
+    corpus: Corpus
     shadow_crawler: ShadowCrawler
     validation: ValidationReport
     youtube_crawl: YouTubeCrawlResult
@@ -131,9 +135,13 @@ class CrawlArtifacts:
     gab_ids: dict[str, int]            # username -> Gab ID
     baseline_texts: dict[str, list[str]]
 
-    def corpus_texts(self) -> list[str]:
-        """Every crawled comment text, in corpus order."""
-        return [c.text for c in self.corpus.comments.values()]
+    def corpus_texts(self):
+        """Every crawled comment text, streamed in corpus order.
+
+        A generator view over the store — the scoring pass submits it
+        in chunks instead of materializing the whole corpus as a list.
+        """
+        return self.corpus.texts()
 
 
 @dataclass
@@ -142,7 +150,7 @@ class ReproductionReport:
 
     # Crawl artefacts.
     gab_enumeration: GabEnumerationResult
-    corpus: CrawlResult
+    corpus: Corpus
     validation: ValidationReport
     youtube_crawl: YouTubeCrawlResult
     reddit_match: RedditMatchResult
@@ -191,6 +199,12 @@ class ReproductionPipeline:
             stats and checkpoints are bit-identical at any value.
         parse_workers: thread-pool size for off-loading pure page
             parsing during the crawl (0 = parse inline).
+        store_dir: spill directory for the corpus store's sealed
+            segments; ``None`` keeps segments inline (in memory and in
+            checkpoints).  Corpus bytes and report numbers are identical
+            either way — only checkpoint-tick cost and peak checkpoint
+            size change.
+        segment_records: records per sealed corpus segment.
     """
 
     def __init__(
@@ -201,6 +215,8 @@ class ReproductionPipeline:
         workers: int = 0,
         connections: int = 1,
         parse_workers: int = 0,
+        store_dir: str | None = None,
+        segment_records: int = 4096,
     ):
         self.world = world or build_world(config)
         self.origins: Origins = build_origins(
@@ -211,7 +227,15 @@ class ReproductionPipeline:
         self.store = ScoreStore(self.models, workers=workers)
         self.connections = int(connections)
         self.parse_workers = int(parse_workers)
+        self.store_dir = store_dir
+        self.segment_records = int(segment_records)
         self._pools: dict[str, FetchPool] = {}
+
+    def _new_store(self) -> CorpusStore:
+        """A fresh corpus store configured from the pipeline's flags."""
+        return CorpusStore(
+            store_dir=self.store_dir, segment_records=self.segment_records
+        )
 
     def _pool_for(self, stage: str) -> FetchPool:
         """A fresh fetch pool for one §3 stage (kept for its counters)."""
@@ -253,24 +277,28 @@ class ReproductionPipeline:
 
     def crawl_dissenter(
         self, usernames: list[str]
-    ) -> tuple[CrawlResult, DissenterCrawler]:
+    ) -> tuple[CorpusStore, DissenterCrawler]:
         crawler = DissenterCrawler(self.client)
         detected = crawler.detect_accounts(
             usernames, pool=self._pool_for("dissenter_detect")
         )
-        corpus = crawler.crawl(detected, pool=self._pool_for("dissenter_crawl"))
+        corpus = crawler.crawl(
+            detected,
+            pool=self._pool_for("dissenter_crawl"),
+            store=self._new_store(),
+        )
         while crawler.stats.comment_pages_failed:
             if crawler.recrawl_failures(corpus) == 0:
                 break
         return corpus, crawler
 
-    def uncover_shadow(self, corpus: CrawlResult) -> ShadowCrawler:
+    def uncover_shadow(self, corpus: CorpusStore) -> ShadowCrawler:
         shadow = ShadowCrawler(self.client, self.origins.dissenter)
         shadow.uncover(corpus, pool=self._pool_for("shadow"))
         return shadow
 
     def validate(
-        self, corpus: CrawlResult, shadow: ShadowCrawler
+        self, corpus: Corpus, shadow: ShadowCrawler
     ) -> ValidationReport:
         config = self.world.config
         validator = CrawlValidator(
@@ -280,12 +308,12 @@ class ReproductionPipeline:
         report = validator.check_consistency(corpus)
         return validator.verify_shadow_sample(corpus, shadow, report=report)
 
-    def crawl_youtube(self, corpus: CrawlResult) -> YouTubeCrawlResult:
+    def crawl_youtube(self, corpus: Corpus) -> YouTubeCrawlResult:
         crawler = YouTubeCrawler(self.client)
         urls = [u.url for u in corpus.urls.values() if is_youtube_url(u.url)]
         return crawler.crawl(urls, pool=self._pool_for("youtube"))
 
-    def crawl_social(self, corpus: CrawlResult, gab_enum: GabEnumerationResult):
+    def crawl_social(self, corpus: Corpus, gab_enum: GabEnumerationResult):
         gab_ids = {
             account.username: account.gab_id
             for account in gab_enum.accounts
@@ -299,7 +327,7 @@ class ReproductionPipeline:
         raw = crawler.crawl(active_ids, pool=self._pool_for("social"))
         return induce_dissenter_graph(raw, active_ids), active_ids, gab_ids
 
-    def match_reddit(self, corpus: CrawlResult) -> RedditMatchResult:
+    def match_reddit(self, corpus: Corpus) -> RedditMatchResult:
         matcher = RedditMatcher(self.client)
         return matcher.match(sorted(corpus.users))
 
@@ -332,7 +360,7 @@ class ReproductionPipeline:
         if resume is not None:
             if not isinstance(resume, dict) or resume.get("kind") != "pipeline":
                 raise ValueError("not a pipeline checkpoint payload")
-            if resume.get("version") != _PIPELINE_CHECKPOINT_VERSION:
+            if resume.get("version") not in _COMPAT_PIPELINE_VERSIONS:
                 raise ValueError(
                     f"unsupported pipeline checkpoint version "
                     f"{resume.get('version')!r}"
@@ -391,16 +419,18 @@ class ReproductionPipeline:
                 checkpointer=checkpointer,
                 resume=active,
                 pool=self._pool_for("dissenter_crawl"),
+                store=self._new_store(),
             )
             # §3.2's re-request loop: idempotent, so it is simply re-run
             # if a resume lands between the crawl and its completion.
             while crawler.stats.comment_pages_failed:
                 if crawler.recrawl_failures(corpus) == 0:
                     break
-            artifacts["corpus"] = result_to_payload(corpus)
+            artifacts["corpus"] = corpus.snapshot()
             advance("shadow")
         elif _stage_done(stage, "dissenter_crawl"):
-            corpus = result_from_payload(artifacts["corpus"])
+            corpus = self._new_store()
+            corpus.restore_payload(artifacts["corpus"])
 
         # ---- §3.2: shadow (NSFW/offensive) overlay ------------------
         shadow_crawler = ShadowCrawler(self.client, self.origins.dissenter)
@@ -411,8 +441,14 @@ class ReproductionPipeline:
                 resume=active,
                 pool=self._pool_for("shadow"),
             )
-            artifacts["corpus"] = result_to_payload(corpus)
+            artifacts["corpus"] = corpus.snapshot()
             advance("youtube")
+
+        # The corpus is complete: freeze it so the secondary indexes
+        # (by_url / by_author / active authors) are built once and
+        # shared by validation and every §4 analysis, and so a stray
+        # post-crawl mutation fails loudly instead of skewing them.
+        corpus.seal()
 
         # ---- §3.3: YouTube metadata rendering -----------------------
         yt_urls = [u.url for u in corpus.urls.values() if is_youtube_url(u.url)]
@@ -484,10 +520,10 @@ class ReproductionPipeline:
         After this stage the store holds scores for every text any
         analysis will request; the analyses only read from the cache.
         """
-        texts = artifacts.corpus_texts()
-        for baseline in artifacts.baseline_texts.values():
-            texts.extend(baseline)
-        self.store.score_many(texts, workers=workers)
+        texts = itertools.chain(
+            artifacts.corpus_texts(), *artifacts.baseline_texts.values()
+        )
+        self.store.prime(texts, workers=workers)
         return self.store
 
     def stage_analyze(self, artifacts: CrawlArtifacts) -> ReproductionReport:

@@ -19,7 +19,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.scoring import ScoreStore
-from repro.crawler.records import CrawlResult
+from repro.store import Corpus
 from repro.crawler.reddit_crawl import RedditMatchResult
 from repro.stats.distributions import ECDF
 
@@ -86,7 +86,7 @@ class CommentRatioAnalysis:
 
 
 def comment_ratios(
-    result: CrawlResult, reddit: RedditMatchResult
+    result: Corpus, reddit: RedditMatchResult
 ) -> CommentRatioAnalysis:
     """Per-user Dissenter/(Dissenter+Reddit) comment ratios.
 

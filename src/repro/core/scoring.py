@@ -175,6 +175,58 @@ class ScoreStore:
                 self._scores[text] = scores
         return [self._scores[text] for text in batch]
 
+    def prime(
+        self,
+        texts: Iterable[str],
+        workers: int | None = None,
+        chunk_size: int = 4096,
+    ) -> int:
+        """Warm the cache from a stream without materializing it.
+
+        The streaming counterpart of :meth:`score_many` for the
+        pipeline's scoring pass: texts are consumed lazily (e.g. the
+        corpus store's ``texts()`` view chained with the baselines),
+        deduplicated on the fly, and the not-yet-cached remainder is
+        scored in bounded chunks.  Counter accounting is identical to
+        one ``score_many`` call over the same stream: one batch, every
+        duplicate or already-cached text a hit, every unique new text a
+        miss — so the exactly-once assertions hold unchanged.
+
+        Returns the number of texts consumed from the stream.
+        """
+        pool_size = self.workers if workers is None else int(workers)
+        self.counters.batches += 1
+        pending: list[str] = []
+        pending_set: set[str] = set()
+        total = 0
+
+        def flush() -> None:
+            if not pending:
+                return
+            self.counters.misses += len(pending)
+            if pool_size > 1:
+                computed = list(
+                    self._pool(pool_size).map(self._models.score, pending)
+                )
+            else:
+                computed = self._models.score_many(pending)
+            for text, scores in zip(pending, computed):
+                self._scores[text] = scores
+            pending.clear()
+            pending_set.clear()
+
+        for text in texts:
+            total += 1
+            if text in self._scores or text in pending_set:
+                self.counters.hits += 1
+                continue
+            pending.append(text)
+            pending_set.add(text)
+            if len(pending) >= chunk_size:
+                flush()
+        flush()
+        return total
+
     def value(self, text: str, attribute: str) -> float:
         """One attribute's score for one text."""
         return self.score(text)[attribute]

@@ -21,7 +21,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.scoring import ScoreStore
-from repro.crawler.records import CrawlResult
+from repro.store import Corpus
 from repro.stats.powerlaw import PowerLawFit, fit_discrete_powerlaw
 
 __all__ = [
@@ -34,7 +34,7 @@ __all__ = [
 
 
 def per_user_activity_toxicity(
-    result: CrawlResult,
+    result: Corpus,
     gab_ids: Mapping[str, int],
     store: ScoreStore | None = None,
     max_comments_per_user: int = 200,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.crawler.records import CrawlResult
+from repro.store import Corpus
 
 __all__ = ["ThreadStructure", "analyze_threads"]
 
@@ -38,7 +38,7 @@ class ThreadStructure:
         return self.reply_count / self.total_comments if self.total_comments else 0.0
 
 
-def analyze_threads(result: CrawlResult) -> ThreadStructure:
+def analyze_threads(result: Corpus) -> ThreadStructure:
     """Measure thread structure over the crawled corpus.
 
     Depth is computed iteratively with memoisation (threads can nest

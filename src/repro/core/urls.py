@@ -13,7 +13,7 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
-from repro.crawler.records import CrawlResult
+from repro.store import Corpus
 
 __all__ = ["UrlTableStats", "analyze_urls", "second_level_domain", "tld_of"]
 
@@ -82,7 +82,7 @@ class UrlTableStats:
         )
 
 
-def analyze_urls(result: CrawlResult) -> UrlTableStats:
+def analyze_urls(result: Corpus) -> UrlTableStats:
     """Run the §4.2.1 census over the crawled URL set."""
     urls = [u.url for u in result.urls.values()]
     stats = UrlTableStats(total_urls=len(urls))

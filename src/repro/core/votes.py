@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.scoring import ScoreStore
-from repro.crawler.records import CrawlResult
+from repro.store import Corpus
 
 __all__ = ["VoteToxicity", "analyze_votes"]
 
@@ -42,7 +42,7 @@ class VoteToxicity:
 
 
 def analyze_votes(
-    result: CrawlResult,
+    result: Corpus,
     store: ScoreStore | None = None,
     max_comments_per_url: int = 50,
 ) -> VoteToxicity:

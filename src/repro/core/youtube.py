@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.crawler.records import CrawlResult
+from repro.store import Corpus
 from repro.crawler.youtube_crawl import YouTubeCrawlResult, is_youtube_url
 
 __all__ = ["YouTubeAnalysis", "analyze_youtube"]
@@ -50,7 +50,7 @@ class YouTubeAnalysis:
 
 
 def analyze_youtube(
-    crawl: YouTubeCrawlResult, result: CrawlResult | None = None
+    crawl: YouTubeCrawlResult, result: Corpus | None = None
 ) -> YouTubeAnalysis:
     """Aggregate the render-crawl output.
 

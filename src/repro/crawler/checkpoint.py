@@ -1,16 +1,25 @@
 """Crawl checkpointing.
 
 The paper's crawl ran for weeks against a live service; resumability was
-survival.  Two formats live here:
+survival.  Three formats live here:
 
 * **v1** — a finished :class:`CrawlResult` serialised to a single JSON
   document (:func:`dumps_result` / :func:`loads_result`).  This is the
   corpus interchange format.
-* **v2** — a :class:`CrawlCheckpoint`: one crawler's *in-progress* state
-  (active stage, cursor, partial result, serialised frontier, stats, and
-  cookie jar), written atomically so a crawl killed at any instant can
-  resume from its last periodic snapshot.  The resumable runtime in
-  :mod:`repro.crawler.runtime` drives the cadence.
+* **v2** (read-only) — a :class:`CrawlCheckpoint` whose partial corpus
+  was embedded as a full ``result_to_payload`` document, re-serialised
+  wholesale on every tick.  Still loaded transparently.
+* **v3** (written) — the same :class:`CrawlCheckpoint` envelope, but the
+  partial corpus travels as a :meth:`~repro.store.CorpusStore.snapshot`
+  payload: sealed-segment references (name + count + sha256, the bytes
+  on disk under ``--store-dir``) plus only the unsealed tail — so a
+  checkpoint tick costs O(progress since the last tick), not O(corpus).
+
+The ``store`` payload stays an opaque dict at this layer;
+:meth:`repro.store.CorpusStore.restore_payload` dispatches on its shape
+(v3 snapshot vs legacy v2 result document), which keeps this module free
+of a ``repro.store`` import.  The resumable runtime in
+:mod:`repro.crawler.runtime` drives the cadence.
 """
 
 from __future__ import annotations
@@ -43,7 +52,10 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
-_RUNTIME_FORMAT_VERSION = 2
+_RUNTIME_FORMAT_VERSION = 3
+#: runtime checkpoint versions ``from_payload`` accepts (v2 documents
+#: written before the segmented store still resume).
+_COMPAT_RUNTIME_VERSIONS = (2, 3)
 
 
 def result_to_payload(result: CrawlResult) -> dict:
@@ -204,7 +216,7 @@ def atomic_write_json(path: str | Path, payload: dict) -> None:
 
 
 # ----------------------------------------------------------------------
-# Checkpoint format v2: in-progress crawler state.
+# Checkpoint format v3 (v2 read-compatible): in-progress crawler state.
 # ----------------------------------------------------------------------
 
 
@@ -218,8 +230,12 @@ class CrawlCheckpoint:
         stage: the crawler-specific stage that was active.
         cursor: crawler-specific progress (indices, partial collections)
             — everything in it must be JSON-serialisable.
-        result: the partial :class:`CrawlResult`, when the crawler builds
-            one.
+        store: the partial corpus, when the crawler builds one: either a
+            :meth:`repro.store.CorpusStore.snapshot` payload (v3) or a
+            legacy :func:`result_to_payload` document lifted from a v2
+            file.  Kept as an opaque dict here;
+            :meth:`repro.store.CorpusStore.restore_payload` dispatches
+            on its shape.
         frontier: a :meth:`CrawlFrontier.to_state` snapshot, when the
             active stage drains a frontier.
         stats: serialised per-stage progress counters.
@@ -230,7 +246,7 @@ class CrawlCheckpoint:
     crawler: str
     stage: str
     cursor: dict = field(default_factory=dict)
-    result: CrawlResult | None = None
+    store: dict | None = None
     frontier: dict | None = None
     stats: dict | None = None
     cookies: list | None = None
@@ -241,9 +257,7 @@ class CrawlCheckpoint:
             "crawler": self.crawler,
             "stage": self.stage,
             "cursor": self.cursor,
-            "result": (
-                result_to_payload(self.result) if self.result is not None else None
-            ),
+            "store": self.store,
             "frontier": self.frontier,
             "stats": self.stats,
             "cookies": self.cookies,
@@ -251,37 +265,45 @@ class CrawlCheckpoint:
 
     @classmethod
     def from_payload(cls, payload: dict) -> "CrawlCheckpoint":
-        """Parse a v2 payload.
+        """Parse a v3 (or legacy v2) payload.
+
+        A v2 document's embedded ``result`` corpus is carried over as
+        the ``store`` payload verbatim — the store's restore path
+        recognises the legacy shape.
 
         Raises:
             ValueError: wrong version or malformed document.
         """
         if not isinstance(payload, dict):
             raise ValueError(
-                f"v2 checkpoint must be an object, got {type(payload).__name__}"
+                f"runtime checkpoint must be an object, "
+                f"got {type(payload).__name__}"
             )
-        if payload.get("version") != _RUNTIME_FORMAT_VERSION:
+        version = payload.get("version")
+        if version not in _COMPAT_RUNTIME_VERSIONS:
             raise ValueError(
-                f"unsupported runtime checkpoint version "
-                f"{payload.get('version')!r}"
+                f"unsupported runtime checkpoint version {version!r}"
+            )
+        raw_store = (
+            payload.get("result") if version == 2 else payload.get("store")
+        )
+        if raw_store is not None and not isinstance(raw_store, dict):
+            raise ValueError(
+                f"malformed runtime checkpoint: corpus payload must be "
+                f"an object, got {type(raw_store).__name__}"
             )
         try:
-            raw_result = payload.get("result")
             return cls(
                 crawler=payload["crawler"],
                 stage=payload["stage"],
                 cursor=dict(payload.get("cursor") or {}),
-                result=(
-                    result_from_payload(raw_result)
-                    if raw_result is not None
-                    else None
-                ),
+                store=raw_store,
                 frontier=payload.get("frontier"),
                 stats=payload.get("stats"),
                 cookies=payload.get("cookies"),
             )
         except (KeyError, TypeError) as exc:
-            raise ValueError(f"malformed v2 checkpoint: {exc!r}") from exc
+            raise ValueError(f"malformed runtime checkpoint: {exc!r}") from exc
 
 
 def coerce_checkpoint(resume: "CrawlCheckpoint | dict", crawler: str) -> "CrawlCheckpoint":
@@ -305,12 +327,12 @@ def coerce_checkpoint(resume: "CrawlCheckpoint | dict", crawler: str) -> "CrawlC
 
 
 def dump_checkpoint(checkpoint: CrawlCheckpoint, path: str | Path) -> None:
-    """Write a v2 checkpoint file atomically."""
+    """Write a runtime (v3) checkpoint file atomically."""
     atomic_write_json(path, checkpoint.to_payload())
 
 
 def load_checkpoint(path: str | Path) -> CrawlCheckpoint:
-    """Read a v2 checkpoint file.
+    """Read a runtime checkpoint file (v3, or a legacy v2 document).
 
     Raises:
         ValueError: malformed or wrong-version file.

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
 from repro.crawler.frontier import CrawlFrontier
@@ -34,12 +34,14 @@ from repro.crawler.parsing import (
     parse_comment_page,
     parse_user_page,
 )
-from repro.crawler.records import CrawlResult
 from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
 from repro.net.cookies import CookieJar
 from repro.net.http import Response
 from repro.net.pool import FetchPool
+
+if TYPE_CHECKING:   # runtime import is deferred: store imports records,
+    from repro.store.corpus import CorpusStore   # records' package imports us
 
 __all__ = ["DissenterCrawler", "SIZE_THRESHOLD"]
 
@@ -200,16 +202,21 @@ class DissenterCrawler:
         checkpointer: Checkpointer | None = None,
         resume: CrawlCheckpoint | dict | None = None,
         pool: FetchPool | None = None,
-    ) -> CrawlResult:
+        store: CorpusStore | None = None,
+    ) -> CorpusStore:
         """Crawl home pages, comment pages, and hidden author metadata.
 
         ``usernames`` should be the detected Dissenter accounts (stage 1);
         passing undetected names is harmless — their 404s are skipped.
         On ``resume``, the same usernames must be passed again: the saved
-        cursor indexes into them.
+        cursor indexes into them.  ``store`` supplies the corpus store to
+        fill (a fresh inline-segment store when omitted); on resume the
+        checkpoint's corpus is replayed into it.
         """
+        from repro.store.corpus import CorpusStore
+
         usernames = list(usernames)
-        result = CrawlResult()
+        result = store if store is not None else CorpusStore()
         frontier: CrawlFrontier[str] = CrawlFrontier()
         stage = "home_pages"
         index = 0                       # home-pages cursor
@@ -223,8 +230,8 @@ class DissenterCrawler:
                     f"cannot resume crawl from stage {checkpoint.stage!r}"
                 )
             stage = checkpoint.stage
-            if checkpoint.result is not None:
-                result = checkpoint.result
+            if checkpoint.store is not None:
+                result.restore_payload(checkpoint.store)
             if checkpoint.frontier is not None:
                 frontier = CrawlFrontier.from_state(checkpoint.frontier)
             if checkpoint.stats is not None:
@@ -244,7 +251,7 @@ class DissenterCrawler:
                         "meta_index": meta_index,
                         "visited_authors": sorted(visited_authors),
                     },
-                    result=result,
+                    store=result.snapshot(),
                     frontier=frontier.to_state(),
                     stats=self.stats.to_dict(),
                     cookies=self._client.cookies.to_state(),
@@ -279,7 +286,7 @@ class DissenterCrawler:
                 nonlocal index
                 if user is not None:
                     self.stats.bump("home_pages_parsed")
-                    result.users[user.username] = user
+                    result.add_user(user)
                     frontier.add_many(user.commented_url_ids)
                 index = position + 1
 
@@ -352,9 +359,9 @@ class DissenterCrawler:
                 nonlocal meta_index
                 meta_index_after, comment = job
                 visited_authors.add(comment.author_id)
-                self._merge_author_page(
-                    users_by_author[comment.author_id], response
-                )
+                user = users_by_author[comment.author_id]
+                if self._merge_author_page(user, response):
+                    result.touch_user(user)
                 meta_index = meta_index_after
 
             pool.run(
@@ -385,7 +392,7 @@ class DissenterCrawler:
 
     def _merge_comment_page(
         self,
-        result: CrawlResult,
+        result: CorpusStore,
         frontier: CrawlFrontier[str],
         commenturl_id: str,
         outcome,
@@ -405,13 +412,13 @@ class DissenterCrawler:
             return
         url, comments = payload
         self.stats.bump("comment_pages_parsed")
-        result.urls[url.commenturl_id] = url
+        result.add_url(url)
         for comment in comments:
-            result.comments[comment.comment_id] = comment
+            result.add_comment(comment)
 
     def _fetch_comment_page(
         self,
-        result: CrawlResult,
+        result: CorpusStore,
         frontier: CrawlFrontier[str],
         commenturl_id: str,
     ) -> None:
@@ -422,7 +429,7 @@ class DissenterCrawler:
         outcome = self._comment_page_outcome(response)
         self._merge_comment_page(result, frontier, commenturl_id, outcome)
 
-    def recrawl_failures(self, result: CrawlResult) -> int:
+    def recrawl_failures(self, result: CorpusStore) -> int:
         """Re-request comment pages that failed (§3.2's validation loop).
 
         Returns the number of pages recovered; successfully recovered
@@ -441,28 +448,33 @@ class DissenterCrawler:
             if url is None:
                 still_failed.append(commenturl_id)
                 continue
-            result.urls[url.commenturl_id] = url
+            result.add_url(url)
             for comment in comments:
-                result.comments[comment.comment_id] = comment
+                result.add_comment(comment)
             recovered += 1
         self.stats.replace_failed(still_failed)
         return recovered
 
-    def _merge_author_page(self, user, response: Response | None) -> None:
-        """Apply one author page's commentAuthor blob to its user."""
+    def _merge_author_page(self, user, response: Response | None) -> bool:
+        """Apply one author page's commentAuthor blob to its user.
+
+        Returns True when user fields changed — the caller re-appends
+        the user to the store log so replay reproduces the mutation.
+        """
         if response is None or response.status != 200:
-            return
+            return False
         self.stats.bump("author_pages_visited")
         blob = parse_comment_author_blob(response.text)
         if blob is None:
-            return
+            return False
         user.language = blob.get("language")
         user.permissions = dict(blob.get("permissions", {}))
         user.view_filters = dict(blob.get("filters", {}))
+        return True
 
     def _mine_author_page(
         self,
-        result: CrawlResult,
+        result: CorpusStore,
         comment,
         users_by_author: dict,
         visited_authors: set[str],
@@ -481,10 +493,11 @@ class DissenterCrawler:
         response = self._client.get_or_none(
             f"{self.BASE}/comment/{comment.comment_id}"
         )
-        self._merge_author_page(user, response)
+        if self._merge_author_page(user, response):
+            result.touch_user(user)
         return True
 
-    def _mine_hidden_metadata(self, result: CrawlResult) -> None:
+    def _mine_hidden_metadata(self, result: CorpusStore) -> None:
         """Visit one comment page per author for the commentAuthor blob."""
         users_by_author = result.users_by_author_id()
         visited_authors: set[str] = set()

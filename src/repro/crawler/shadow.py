@@ -18,16 +18,19 @@ This module reproduces that three-pass protocol:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
 from repro.crawler.parsing import parse_comment_page
-from repro.crawler.records import CrawlResult
 from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
 from repro.net.cookies import CookieJar
 from repro.net.http import Response
 from repro.net.pool import FetchPool
 from repro.platform.apps.dissenter_app import DissenterApp
+
+if TYPE_CHECKING:   # runtime import would cycle through the crawler package
+    from repro.store.corpus import CorpusStore
 
 __all__ = ["ShadowCrawler", "ShadowCrawlReport"]
 
@@ -95,7 +98,7 @@ class ShadowCrawler:
 
     def _merge_labeled(
         self,
-        result: CrawlResult,
+        result: CorpusStore,
         comments: list,
         label: str,
         baseline_ids: set[str],
@@ -108,13 +111,13 @@ class ShadowCrawler:
             if comment.comment_id in result.comments:
                 continue
             comment.shadow_label = label
-            result.comments[comment.comment_id] = comment
+            result.add_comment(comment)
             found += 1
         return found
 
     def _label_page(
         self,
-        result: CrawlResult,
+        result: CorpusStore,
         commenturl_id: str,
         label: str,
         baseline_ids: set[str],
@@ -129,7 +132,7 @@ class ShadowCrawler:
 
     def _crawl_pass(
         self,
-        result: CrawlResult,
+        result: CorpusStore,
         token: str,
         label: str,
         baseline_ids: set[str],
@@ -144,7 +147,7 @@ class ShadowCrawler:
 
     def uncover(
         self,
-        result: CrawlResult,
+        result: CorpusStore,
         checkpointer: Checkpointer | None = None,
         resume: CrawlCheckpoint | dict | None = None,
         pool: FetchPool | None = None,
@@ -183,11 +186,9 @@ class ShadowCrawler:
             baseline_ids = set(cursor.get("baseline_ids", []))
             url_ids = list(cursor.get("url_ids", []))
             found_counts.update(cursor.get("found", {}))
-            if checkpoint.result is not None:
-                restored = checkpoint.result
-                result.users = restored.users
-                result.urls = restored.urls
-                result.comments = restored.comments
+            if checkpoint.store is not None:
+                # In-place replay: the caller's reference stays valid.
+                result.restore_payload(checkpoint.store)
             if checkpoint.cookies is not None:
                 self._client.cookies = CookieJar.from_state(checkpoint.cookies)
 
@@ -207,7 +208,7 @@ class ShadowCrawler:
                         "url_ids": url_ids,
                         "found": dict(found_counts),
                     },
-                    result=result,
+                    store=result.snapshot(),
                     cookies=self._client.cookies.to_state(),
                 ).to_payload()
             )
@@ -260,7 +261,7 @@ class ShadowCrawler:
         return report
 
     def verify_sample(
-        self, result: CrawlResult, sample_ids: list[str]
+        self, result: CorpusStore, sample_ids: list[str]
     ) -> dict[str, bool]:
         """Manually verify labelled comments (§3.2's 100-comment check).
 

@@ -18,9 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.crawler.records import CrawlResult
+from typing import TYPE_CHECKING
+
 from repro.crawler.shadow import ShadowCrawler
 from repro.stats.sampling import reservoir_sample
+
+if TYPE_CHECKING:   # runtime import would cycle through the crawler package
+    from repro.store.corpus import Corpus
 
 __all__ = ["CrawlValidator", "ValidationReport"]
 
@@ -63,7 +67,7 @@ class CrawlValidator:
         self._window = (window_start, window_end)
         self._tolerance = timestamp_tolerance
 
-    def check_consistency(self, result: CrawlResult) -> ValidationReport:
+    def check_consistency(self, result: Corpus) -> ValidationReport:
         """Run the internal-consistency checks."""
         report = ValidationReport()
         lo, hi = self._window
@@ -101,7 +105,7 @@ class CrawlValidator:
 
     def verify_shadow_sample(
         self,
-        result: CrawlResult,
+        result: Corpus,
         shadow_crawler: ShadowCrawler,
         sample_size: int = 100,
         seed: int = 0,

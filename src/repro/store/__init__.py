@@ -1,0 +1,66 @@
+"""repro.store — the segmented, append-only corpus store.
+
+Public surface:
+
+* :class:`CorpusStore` — the crawl/score/analyze corpus interface
+  (append log, size-bounded segments, optional spill-to-disk, memoised
+  post-seal indexes, streaming views, checkpoint-v3 snapshots).
+* ``Corpus`` — the type every §4 analysis accepts: a ``CorpusStore`` or
+  a legacy in-memory :class:`~repro.crawler.records.CrawlResult` (the
+  two expose the same duck-typed access surface).
+* the canonical JSONL codecs and segment/manifest helpers.
+"""
+
+from __future__ import annotations
+
+from repro.store.codecs import (
+    decode_comment,
+    decode_line,
+    decode_url,
+    decode_user,
+    encode_comment,
+    encode_record,
+    encode_url,
+    encode_user,
+)
+from repro.store.corpus import (
+    STORE_FORMAT_VERSION,
+    Corpus,
+    CorpusStore,
+    SealedCorpusError,
+)
+from repro.store.segments import (
+    MANIFEST_NAME,
+    SegmentRef,
+    hash_lines,
+    load_manifest,
+    read_segment,
+    segment_name,
+    segment_path,
+    write_manifest,
+    write_segment,
+)
+
+__all__ = [
+    "Corpus",
+    "CorpusStore",
+    "MANIFEST_NAME",
+    "STORE_FORMAT_VERSION",
+    "SealedCorpusError",
+    "SegmentRef",
+    "decode_comment",
+    "decode_line",
+    "decode_url",
+    "decode_user",
+    "encode_comment",
+    "encode_record",
+    "encode_url",
+    "encode_user",
+    "hash_lines",
+    "load_manifest",
+    "read_segment",
+    "segment_name",
+    "segment_path",
+    "write_manifest",
+    "write_segment",
+]

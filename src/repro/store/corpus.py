@@ -1,0 +1,429 @@
+"""The segmented corpus store.
+
+:class:`CorpusStore` replaces the in-memory :class:`~repro.crawler.
+records.CrawlResult` monolith as the interface between the crawl, score,
+and analyze stages.  It keeps the exact same access surface (``users`` /
+``urls`` / ``comments`` dicts in first-insertion order, the same
+secondary-index methods) while adding:
+
+* an **append-only record log**: every ``add_*``/``touch_user`` call
+  appends one canonical JSONL line (:mod:`repro.store.codecs`); replaying
+  the log rebuilds the dicts bit-identically, because a dict upsert keeps
+  the key's original position — exactly the semantics the crawl relies
+  on.  Mutations (stage-4 author metadata, shadow labels) are revision
+  re-appends, never in-place log edits.
+* **size-bounded segments**: every ``segment_records`` lines the write
+  buffer seals into an immutable segment.  With a ``store_dir`` the
+  segment spills to disk (atomic write + manifest entry) and only its
+  (name, count, sha256) reference travels in checkpoints — checkpoint
+  cost becomes proportional to progress since the last tick.  Without a
+  directory, sealed lines ride inline in the checkpoint payload (same
+  format, same determinism, v2-era cost).
+* **memoised secondary indexes** (``comments_by_url`` / ``by_author`` /
+  the active-author set), built once after :meth:`seal` and shared by
+  every §4 analysis; before sealing they are computed fresh per call, as
+  ``CrawlResult`` always did.
+* **streaming read views** (:meth:`iter_comments`, :meth:`texts`) so
+  scoring no longer materializes every comment text into a list.
+
+The store deliberately does *not* import :mod:`repro.crawler.checkpoint`
+payload helpers at class level — checkpoint v3 stores the snapshot as a
+plain dict, and :meth:`restore_payload` dispatches on shape, so legacy
+v2 "result" payloads load transparently.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.crawler.records import (
+    CrawlResult,
+    CrawledComment,
+    CrawledUrl,
+    CrawledUser,
+)
+from repro.store.codecs import (
+    decode_line,
+    encode_comment,
+    encode_url,
+    encode_user,
+)
+from repro.store.segments import (
+    SegmentRef,
+    hash_lines,
+    read_segment,
+    segment_name,
+    write_manifest,
+    write_segment,
+)
+
+__all__ = ["Corpus", "CorpusStore", "SealedCorpusError", "STORE_FORMAT_VERSION"]
+
+#: Version tag of the store snapshot payload (checkpoint format v3).
+STORE_FORMAT_VERSION = 3
+
+#: Default records per sealed segment.
+DEFAULT_SEGMENT_RECORDS = 4096
+
+
+class SealedCorpusError(RuntimeError):
+    """A write reached a store that has been sealed for analysis."""
+
+
+class CorpusStore:
+    """Append-only, segmented corpus store (see module docstring).
+
+    Args:
+        store_dir: spill directory for sealed segments; ``None`` keeps
+            sealed segments inline (in memory and in checkpoints).
+        segment_records: records per sealed segment (>= 1).
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path | None = None,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+    ):
+        if segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        self.users: dict[str, CrawledUser] = {}
+        self.urls: dict[str, CrawledUrl] = {}
+        self.comments: dict[str, CrawledComment] = {}
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+        self.segment_records = int(segment_records)
+        self._refs: list[SegmentRef] = []
+        self._inline_segments: dict[str, list[str]] = {}
+        self._tail: list[str] = []
+        self._sealed = False
+        #: memoised post-seal index builds (tests assert == once per view)
+        self.index_builds = 0
+        self._memo_users_by_author: dict[str, CrawledUser] | None = None
+        self._memo_by_url: dict[str, list[CrawledComment]] | None = None
+        self._memo_by_author: dict[str, list[CrawledComment]] | None = None
+        self._memo_active_ids: set[str] | None = None
+        self._memo_active_users: list[CrawledUser] | None = None
+
+    # ------------------------------------------------------------------
+    # Write path.
+    # ------------------------------------------------------------------
+
+    def _guard(self) -> None:
+        # Raised BEFORE any dict mutation: a rejected write must not
+        # leak a record into the corpus the log never saw.
+        if self._sealed:
+            raise SealedCorpusError(
+                "corpus store is sealed; mutation after the crawl stage "
+                "would invalidate the shared analysis indexes"
+            )
+
+    def _append(self, line: str) -> None:
+        self._tail.append(line)
+        if len(self._tail) >= self.segment_records:
+            self._seal_segment()
+
+    def add_user(self, user: CrawledUser) -> None:
+        """Record (or upsert) one user; appends a log line."""
+        self._guard()
+        self.users[user.username] = user
+        self._append(encode_user(user))
+
+    def add_url(self, url: CrawledUrl) -> None:
+        """Record (or upsert) one URL; appends a log line."""
+        self._guard()
+        self.urls[url.commenturl_id] = url
+        self._append(encode_url(url))
+
+    def add_comment(self, comment: CrawledComment) -> None:
+        """Record (or upsert) one comment; appends a log line."""
+        self._guard()
+        self.comments[comment.comment_id] = comment
+        self._append(encode_comment(comment))
+
+    def touch_user(self, user: CrawledUser) -> None:
+        """Re-append a user whose fields were mutated in place.
+
+        The stage-4 metadata crawl fills ``language``/``permissions``/
+        ``view_filters`` on already-recorded users; the revision line
+        makes the log self-contained so replay reproduces the mutation.
+        """
+        self.add_user(user)
+
+    def _seal_segment(self) -> None:
+        lines, self._tail = self._tail, []
+        name = segment_name(len(self._refs) + 1)
+        if self.store_dir is not None:
+            ref = write_segment(self.store_dir, name, lines)
+        else:
+            ref = SegmentRef(name=name, count=len(lines), sha256=hash_lines(lines))
+            self._inline_segments[name] = lines
+        self._refs.append(ref)
+        if self.store_dir is not None:
+            write_manifest(self.store_dir, self.segment_records, self._refs)
+
+    def seal(self) -> "CorpusStore":
+        """Freeze the store: no further writes; indexes become memoised."""
+        self._sealed = True
+        return self
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    # ------------------------------------------------------------------
+    # Log / segment accounting.
+    # ------------------------------------------------------------------
+
+    @property
+    def segment_refs(self) -> list[SegmentRef]:
+        """References of all sealed segments, in seal order (copy)."""
+        return list(self._refs)
+
+    @property
+    def log_records(self) -> int:
+        """Total log lines written (sealed + unsealed tail)."""
+        return sum(ref.count for ref in self._refs) + len(self._tail)
+
+    @property
+    def tail_records(self) -> int:
+        """Unsealed lines currently buffered (the per-tick checkpoint cost)."""
+        return len(self._tail)
+
+    # ------------------------------------------------------------------
+    # Streaming read views.
+    # ------------------------------------------------------------------
+
+    def iter_users(self) -> Iterator[CrawledUser]:
+        return iter(self.users.values())
+
+    def iter_urls(self) -> Iterator[CrawledUrl]:
+        return iter(self.urls.values())
+
+    def iter_comments(self) -> Iterator[CrawledComment]:
+        return iter(self.comments.values())
+
+    def texts(self) -> Iterator[str]:
+        """Every crawled comment text, streamed in corpus order."""
+        return (c.text for c in self.comments.values())
+
+    # ------------------------------------------------------------------
+    # Secondary indexes (memoised once sealed).
+    # ------------------------------------------------------------------
+
+    def users_by_author_id(self) -> dict[str, CrawledUser]:
+        if not self._sealed:
+            return self._build_users_by_author()
+        if self._memo_users_by_author is None:
+            self.index_builds += 1
+            self._memo_users_by_author = self._build_users_by_author()
+        return self._memo_users_by_author
+
+    def _build_users_by_author(self) -> dict[str, CrawledUser]:
+        return {u.author_id: u for u in self.users.values()}
+
+    def comments_by_url(self) -> dict[str, list[CrawledComment]]:
+        if not self._sealed:
+            return self._build_by_url()
+        if self._memo_by_url is None:
+            self.index_builds += 1
+            self._memo_by_url = self._build_by_url()
+        return self._memo_by_url
+
+    def _build_by_url(self) -> dict[str, list[CrawledComment]]:
+        grouped: dict[str, list[CrawledComment]] = {}
+        for comment in self.comments.values():
+            grouped.setdefault(comment.commenturl_id, []).append(comment)
+        return grouped
+
+    def comments_by_author(self) -> dict[str, list[CrawledComment]]:
+        if not self._sealed:
+            return self._build_by_author()
+        if self._memo_by_author is None:
+            self.index_builds += 1
+            self._memo_by_author = self._build_by_author()
+        return self._memo_by_author
+
+    def _build_by_author(self) -> dict[str, list[CrawledComment]]:
+        grouped: dict[str, list[CrawledComment]] = {}
+        for comment in self.comments.values():
+            grouped.setdefault(comment.author_id, []).append(comment)
+        return grouped
+
+    def active_author_ids(self) -> set[str]:
+        """Author ids with at least one crawled comment (membership only)."""
+        if not self._sealed:
+            return {c.author_id for c in self.comments.values()}
+        if self._memo_active_ids is None:
+            self.index_builds += 1
+            self._memo_active_ids = {
+                c.author_id for c in self.comments.values()
+            }
+        return self._memo_active_ids
+
+    def active_users(self) -> list[CrawledUser]:
+        """Users with at least one crawled comment, in corpus order."""
+        if not self._sealed:
+            authors = self.active_author_ids()
+            return [u for u in self.users.values() if u.author_id in authors]
+        if self._memo_active_users is None:
+            self.index_builds += 1
+            authors = self.active_author_ids()
+            self._memo_active_users = [
+                u for u in self.users.values() if u.author_id in authors
+            ]
+        return self._memo_active_users
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "users": len(self.users),
+            "urls": len(self.urls),
+            "comments": len(self.comments),
+            "active_users": len(self.active_users()),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint snapshot / restore (format v3).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The store's checkpoint-v3 payload.
+
+        Sealed segments appear as references only when they live on
+        disk; inline segments carry their lines (the data must live
+        somewhere).  The unsealed tail always rides along, so the
+        per-tick serialization cost with a ``store_dir`` is bounded by
+        ``segment_records``, not corpus size.
+        """
+        sealed = []
+        for ref in self._refs:
+            entry = ref.to_payload()
+            lines = self._inline_segments.get(ref.name)
+            if lines is not None:
+                entry["lines"] = lines
+            sealed.append(entry)
+        return {
+            "version": STORE_FORMAT_VERSION,
+            "segment_records": self.segment_records,
+            "dir": str(self.store_dir) if self.store_dir is not None else None,
+            "sealed": sealed,
+            "tail": list(self._tail),
+        }
+
+    def restore_payload(self, payload: dict) -> None:
+        """Load a corpus payload into this (empty, unsealed) store.
+
+        Accepts either a v3 :meth:`snapshot` payload or a legacy
+        ``result_to_payload`` document (checkpoint v1/v2) — the caller
+        never needs to know which format a checkpoint carried.
+
+        Raises:
+            ValueError: malformed payload, unknown version, or a sealed
+                segment that fails its count/hash verification.
+        """
+        if self._sealed:
+            raise SealedCorpusError("cannot restore into a sealed store")
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"store payload must be an object, got {type(payload).__name__}"
+            )
+        if "sealed" not in payload and "users" in payload:
+            self._restore_result_payload(payload)
+            return
+        if payload.get("version") != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported store payload version {payload.get('version')!r}"
+            )
+        self._reset()
+        # Resuming adopts the snapshot's segment size: a chain of
+        # kill→resume legs must seal at the same record boundaries as
+        # the uninterrupted run, whatever the current CLI flag says.
+        self.segment_records = int(payload.get("segment_records", self.segment_records))
+        payload_dir = payload.get("dir")
+        for entry in payload.get("sealed") or []:
+            if not isinstance(entry, dict):
+                raise ValueError("sealed segment entry must be an object")
+            ref = SegmentRef.from_payload(entry)
+            raw_lines = entry.get("lines")
+            if raw_lines is None:
+                base = self.store_dir if self.store_dir is not None else payload_dir
+                if base is None:
+                    raise ValueError(
+                        f"segment {ref.name} has no inline lines and the "
+                        f"payload names no store directory"
+                    )
+                lines = read_segment(Path(base), ref)
+            else:
+                lines = [str(line) for line in raw_lines]
+                if len(lines) != ref.count:
+                    raise ValueError(
+                        f"inline segment {ref.name} holds {len(lines)} "
+                        f"records, reference says {ref.count}"
+                    )
+                digest = hash_lines(lines)
+                if digest != ref.sha256:
+                    raise ValueError(
+                        f"inline segment {ref.name} content hash mismatch"
+                    )
+            for line in lines:
+                self._apply_line(line)
+            if self.store_dir is not None:
+                # Adopted by this store's directory (covers resuming an
+                # inline checkpoint into a --store-dir run).
+                write_segment(self.store_dir, ref.name, lines)
+            else:
+                self._inline_segments[ref.name] = lines
+            self._refs.append(ref)
+        if self.store_dir is not None and self._refs:
+            write_manifest(self.store_dir, self.segment_records, self._refs)
+        for raw in payload.get("tail") or []:
+            line = str(raw)
+            self._apply_line(line)
+            self._append(line)
+
+    def _restore_result_payload(self, payload: dict) -> None:
+        """Replay a legacy ``result_to_payload`` document into the log."""
+        from repro.crawler.checkpoint import result_from_payload
+
+        legacy = result_from_payload(payload)
+        self._reset()
+        for user in legacy.users.values():
+            self.add_user(user)
+        for url in legacy.urls.values():
+            self.add_url(url)
+        for comment in legacy.comments.values():
+            self.add_comment(comment)
+
+    def _reset(self) -> None:
+        self.users.clear()
+        self.urls.clear()
+        self.comments.clear()
+        self._refs = []
+        self._inline_segments = {}
+        self._tail = []
+
+    def _apply_line(self, line: str) -> None:
+        kind, record = decode_line(line)
+        if kind == "user":
+            self.users[record.username] = record
+        elif kind == "url":
+            self.urls[record.commenturl_id] = record
+        else:
+            self.comments[record.comment_id] = record
+
+    # ------------------------------------------------------------------
+    # Interop.
+    # ------------------------------------------------------------------
+
+    def to_result(self) -> CrawlResult:
+        """A plain :class:`CrawlResult` sharing this store's records."""
+        return CrawlResult(
+            users=dict(self.users),
+            urls=dict(self.urls),
+            comments=dict(self.comments),
+        )
+
+
+#: What the analyses consume: the store, or the legacy in-memory result
+#: (same duck-typed access surface).  Defined here, not in the package
+#: ``__init__``, so crawler-side modules can import it mid-package-init.
+Corpus = CorpusStore | CrawlResult

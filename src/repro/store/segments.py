@@ -1,0 +1,172 @@
+"""Segment files and the store manifest.
+
+A sealed segment is an immutable JSONL file of exactly ``count`` encoded
+records whose bytes are covered by a SHA-256 content hash; the manifest
+lists every sealed segment in order.  Checkpoint format v3 records only
+these (name, count, hash) references plus the unsealed tail, so a
+checkpoint tick costs O(progress since the last tick), not O(corpus).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.crawler.checkpoint import atomic_write_json, atomic_write_text
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SegmentRef",
+    "hash_lines",
+    "load_manifest",
+    "read_segment",
+    "segment_name",
+    "segment_path",
+    "write_manifest",
+    "write_segment",
+]
+
+MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 1
+
+# Segment names are generated, never user input — but refs round-trip
+# through checkpoint documents, so reject anything that could traverse
+# out of the store directory when resolved back to a path.
+_NAME_RE = re.compile(r"^segment-\d{6}$")
+
+
+def segment_name(ordinal: int) -> str:
+    """The canonical name of the ``ordinal``-th sealed segment (1-based)."""
+    return f"segment-{ordinal:06d}"
+
+
+def segment_path(store_dir: Path, name: str) -> Path:
+    return Path(store_dir) / f"{name}.jsonl"
+
+
+def hash_lines(lines: list[str]) -> str:
+    """SHA-256 over the segment's exact on-disk bytes."""
+    body = "".join(line + "\n" for line in lines)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """One sealed segment: its name, record count, and content hash."""
+
+    name: str
+    count: int
+    sha256: str
+
+    def to_payload(self) -> dict:
+        return {"name": self.name, "count": self.count, "sha256": self.sha256}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SegmentRef":
+        """Parse a segment reference.
+
+        Raises:
+            ValueError: malformed payload or unsafe segment name.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"segment ref must be an object, got {type(payload).__name__}"
+            )
+        try:
+            ref = cls(
+                name=str(payload["name"]),
+                count=int(payload["count"]),
+                sha256=str(payload["sha256"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed segment ref: {exc!r}") from exc
+        if not _NAME_RE.match(ref.name):
+            raise ValueError(f"invalid segment name {ref.name!r}")
+        if ref.count < 0:
+            raise ValueError(f"negative segment count {ref.count}")
+        return ref
+
+
+def write_segment(store_dir: Path, name: str, lines: list[str]) -> SegmentRef:
+    """Write one sealed segment atomically; returns its reference."""
+    store_dir = Path(store_dir)
+    store_dir.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(
+        segment_path(store_dir, name), "".join(line + "\n" for line in lines)
+    )
+    return SegmentRef(name=name, count=len(lines), sha256=hash_lines(lines))
+
+
+def read_segment(store_dir: Path, ref: SegmentRef) -> list[str]:
+    """Read a sealed segment back, verifying count and content hash.
+
+    Raises:
+        ValueError: the file is missing, truncated, or its bytes do not
+            match the reference hash (a torn or tampered segment must
+            never be silently replayed into a resumed corpus).
+    """
+    path = segment_path(Path(store_dir), ref.name)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"unreadable segment {ref.name}: {exc}") from exc
+    lines = text.splitlines()
+    if len(lines) != ref.count:
+        raise ValueError(
+            f"segment {ref.name} holds {len(lines)} records, "
+            f"reference says {ref.count}"
+        )
+    digest = hash_lines(lines)
+    if digest != ref.sha256:
+        raise ValueError(
+            f"segment {ref.name} content hash mismatch "
+            f"(expected {ref.sha256}, got {digest})"
+        )
+    return lines
+
+
+def write_manifest(
+    store_dir: Path, segment_records: int, refs: list[SegmentRef]
+) -> None:
+    """Write the store manifest atomically (one entry per sealed segment)."""
+    store_dir = Path(store_dir)
+    store_dir.mkdir(parents=True, exist_ok=True)
+    atomic_write_json(
+        store_dir / MANIFEST_NAME,
+        {
+            "version": _MANIFEST_VERSION,
+            "segment_records": segment_records,
+            "total_records": sum(ref.count for ref in refs),
+            "segments": [ref.to_payload() for ref in refs],
+        },
+    )
+
+
+def load_manifest(store_dir: Path) -> dict:
+    """Read and validate the store manifest.
+
+    Returns the manifest payload with ``segments`` parsed into
+    :class:`SegmentRef` instances.
+
+    Raises:
+        ValueError: missing, unparsable, or wrong-version manifest.
+    """
+    import json
+
+    path = Path(store_dir) / MANIFEST_NAME
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"unreadable manifest: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"manifest is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("manifest must be a JSON object")
+    if payload.get("version") != _MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {payload.get('version')!r}"
+        )
+    refs = [SegmentRef.from_payload(entry) for entry in payload.get("segments", [])]
+    return {**payload, "segments": refs}

@@ -1,0 +1,35 @@
+"""CHK002 bad fixture: store-persisted fields missing from the codec."""
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass
+class CrawledComment:
+    comment_id: str = ""
+    text: str = ""
+    shadow_label: str = ""                  # line 11: absent from codec
+
+
+@dataclass
+class CrawledUser:
+    username: str = ""
+    bio: str = ""                           # line 17: absent from codec
+
+
+def encode_comment(record: CrawledComment) -> str:
+    return json.dumps({
+        "comment_id": record.comment_id,
+        "text": record.text,
+    })
+
+
+def decode_comment(line: str) -> CrawledComment:
+    payload = json.loads(line)
+    return CrawledComment(
+        comment_id=payload["comment_id"], text=payload["text"]
+    )
+
+
+def encode_user(record: CrawledUser) -> str:
+    return json.dumps({"username": record.username})

@@ -1,0 +1,28 @@
+"""CHK002 good fixture: every store-persisted field is in its codec."""
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass
+class CrawledUrl:
+    commenturl_id: str = ""
+    url: str = ""
+    upvotes: int = 0
+
+
+def encode_url(record: CrawledUrl) -> str:
+    return json.dumps({
+        "commenturl_id": record.commenturl_id,
+        "url": record.url,
+        "upvotes": record.upvotes,
+    })
+
+
+def decode_url(line: str) -> CrawledUrl:
+    payload = json.loads(line)
+    return CrawledUrl(
+        commenturl_id=payload["commenturl_id"],
+        url=payload["url"],
+        upvotes=int(payload["upvotes"]),
+    )

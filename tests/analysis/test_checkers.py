@@ -107,6 +107,29 @@ def test_chk001_good_is_clean():
 
 
 # ----------------------------------------------------------------------
+# CHK002 — store codec drift (project-level pass).
+# ----------------------------------------------------------------------
+
+def test_chk002_bad_flags_unencoded_fields():
+    findings = run_fixture("chk002_bad.py")
+    chk = [f for f in findings if f.code == "CHK002"]
+    assert [f.line for f in chk] == [11, 17]
+    assert "CrawledComment.shadow_label" in chk[0].message
+    assert "CrawledUser.bio" in chk[1].message
+    assert "codec" in chk[0].hint
+
+
+def test_chk002_good_is_clean():
+    assert run_fixture("chk002_good.py") == []
+
+
+def test_chk002_silent_without_codec_functions():
+    """A record dataclass alone (no codecs in scope) never fires."""
+    findings = run_fixture("chk001_bad.py")
+    assert [f for f in findings if f.code == "CHK002"] == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions fixture: valid, reasonless, unknown-code.
 # ----------------------------------------------------------------------
 

@@ -1,9 +1,11 @@
-"""Unit tests for the resumable-crawl runtime and checkpoint format v2.
+"""Unit tests for the resumable-crawl runtime and checkpoint format v3.
 
 Covers the :class:`Checkpointer` cadence (page and simulated-seconds
-triggers), atomic-write behaviour, the v2 payload round trip, the
-error contract (malformed documents always raise ``ValueError``), and the
-frontier / cookie-jar state snapshots the crawlers serialise.
+triggers), atomic-write behaviour, the v3 payload round trip, v2
+back-compat (documents written before the segmented store still parse and
+replay), the error contract (malformed documents always raise
+``ValueError``), and the frontier / cookie-jar state snapshots the
+crawlers serialise.
 """
 
 import json
@@ -25,6 +27,7 @@ from repro.crawler.records import CrawlResult, CrawledComment, CrawledUrl
 from repro.crawler.runtime import Checkpointer, load_state
 from repro.net.clock import VirtualClock
 from repro.net.cookies import CookieJar
+from repro.store import CorpusStore
 
 
 class TestCheckpointer:
@@ -99,8 +102,65 @@ class TestCheckpointer:
             load_state(path)
 
 
-class TestV2Roundtrip:
+def _sample_store() -> CorpusStore:
+    store = CorpusStore(segment_records=2)
+    store.add_url(CrawledUrl(
+        commenturl_id="u1", url="https://example.com", title="t",
+        description="d", upvotes=1, downvotes=0,
+    ))
+    store.add_comment(CrawledComment(
+        comment_id="c1", author_id="a1", commenturl_id="u1",
+        text="hello", parent_comment_id=None, created_at_epoch=123,
+        shadow_label="nsfw",
+    ))
+    store.add_comment(CrawledComment(
+        comment_id="c2", author_id="a1", commenturl_id="u1",
+        text="again", parent_comment_id="c1", created_at_epoch=124,
+    ))
+    return store
+
+
+class TestV3Roundtrip:
     def _checkpoint(self) -> CrawlCheckpoint:
+        frontier = CrawlFrontier(["u1", "u2"])
+        frontier.pop()
+        jar = CookieJar()
+        jar.set_simple("session", "tok", "dissenter.com")
+        return CrawlCheckpoint(
+            crawler="dissenter",
+            stage="comment_pages",
+            cursor={"index": 4, "visited_authors": ["a1"]},
+            store=_sample_store().snapshot(),
+            frontier=frontier.to_state(),
+            stats={"comment_pages_parsed": 1},
+            cookies=jar.to_state(),
+        )
+
+    def test_payload_roundtrip(self):
+        checkpoint = self._checkpoint()
+        payload = checkpoint.to_payload()
+        assert payload["version"] == 3
+        restored = CrawlCheckpoint.from_payload(payload)
+        assert restored.crawler == "dissenter"
+        assert restored.stage == "comment_pages"
+        assert restored.cursor == checkpoint.cursor
+        assert restored.frontier == checkpoint.frontier
+        assert restored.stats == checkpoint.stats
+        assert restored.cookies == checkpoint.cookies
+        assert restored.store == checkpoint.store
+        replayed = CorpusStore()
+        replayed.restore_payload(restored.store)
+        assert replayed.snapshot() == _sample_store().snapshot()
+
+    def test_file_roundtrip_survives_json(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        checkpoint = self._checkpoint()
+        dump_checkpoint(checkpoint, path)
+        restored = load_checkpoint(path)
+        assert restored.to_payload() == checkpoint.to_payload()
+
+    def test_v2_document_still_parses_and_replays(self):
+        """A pre-store (v2) file's embedded ``result`` document resumes."""
         result = CrawlResult()
         result.urls["u1"] = CrawledUrl(
             commenturl_id="u1", url="https://example.com", title="t",
@@ -111,39 +171,23 @@ class TestV2Roundtrip:
             text="hello", parent_comment_id=None, created_at_epoch=123,
             shadow_label="nsfw",
         )
-        frontier = CrawlFrontier(["u1", "u2"])
-        frontier.pop()
-        jar = CookieJar()
-        jar.set_simple("session", "tok", "dissenter.com")
-        return CrawlCheckpoint(
-            crawler="dissenter",
-            stage="comment_pages",
-            cursor={"index": 4, "visited_authors": ["a1"]},
-            result=result,
-            frontier=frontier.to_state(),
-            stats={"comment_pages_parsed": 1},
-            cookies=jar.to_state(),
-        )
-
-    def test_payload_roundtrip(self):
-        checkpoint = self._checkpoint()
-        restored = CrawlCheckpoint.from_payload(checkpoint.to_payload())
-        assert restored.crawler == "dissenter"
-        assert restored.stage == "comment_pages"
-        assert restored.cursor == checkpoint.cursor
-        assert restored.frontier == checkpoint.frontier
-        assert restored.stats == checkpoint.stats
-        assert restored.cookies == checkpoint.cookies
-        assert result_to_payload(restored.result) == result_to_payload(
-            checkpoint.result
-        )
-
-    def test_file_roundtrip_survives_json(self, tmp_path):
-        path = tmp_path / "ckpt.json"
-        checkpoint = self._checkpoint()
-        dump_checkpoint(checkpoint, path)
-        restored = load_checkpoint(path)
-        assert restored.to_payload() == checkpoint.to_payload()
+        v2_payload = {
+            "version": 2,
+            "crawler": "dissenter",
+            "stage": "comment_pages",
+            "cursor": {"index": 4},
+            "result": result_to_payload(result),
+            "frontier": None,
+            "stats": None,
+            "cookies": None,
+        }
+        restored = CrawlCheckpoint.from_payload(v2_payload)
+        assert restored.store == result_to_payload(result)
+        replayed = CorpusStore()
+        replayed.restore_payload(restored.store)
+        assert list(replayed.urls) == ["u1"]
+        assert list(replayed.comments) == ["c1"]
+        assert replayed.comments["c1"].shadow_label == "nsfw"
 
     def test_coerce_accepts_payload_or_object(self):
         checkpoint = self._checkpoint()
