@@ -21,9 +21,23 @@ def row(label: str, paper: object, measured: object) -> str:
     return f"{label:<48s} paper={paper!s:<18s} measured={measured!s}"
 
 
-def record(name: str, title: str, lines: Iterable[str]) -> None:
-    """Write a bench's comparison block to disk and stdout."""
+def record(
+    name: str,
+    title: str,
+    lines: Iterable[str],
+    context: dict | None = None,
+) -> None:
+    """Write a bench's comparison block to disk and stdout.
+
+    ``context`` holds run parameters the numbers depend on (segment
+    count, column cache-hit counters, corpus size) so a result file is
+    interpretable on its own.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
-    body = "\n".join([title, "=" * len(title), *lines, ""])
+    body_lines = [title, "=" * len(title), *lines]
+    if context:
+        pairs = "  ".join(f"{key}={value}" for key, value in context.items())
+        body_lines.append(f"context: {pairs}")
+    body = "\n".join([*body_lines, ""])
     (RESULTS_DIR / f"{name}.txt").write_text(body, encoding="utf-8")
     print("\n" + body)

@@ -12,6 +12,7 @@ DET004    set construction inside a serializer (checkpoint/report bytes)
 CONC001   stats-object writes outside the lock-guarded mutation APIs
 CHK001    checkpointed dataclass field missing from its schema
 CHK002    store-persisted dataclass field missing from its JSONL codec
+CHK003    column projection reads a field absent from the store codec
 SUP001    malformed suppression comments (engine-level)
 ========  ==============================================================
 
@@ -892,6 +893,107 @@ def _string_constants(node: ast.AST) -> set[str]:
 
 
 # ----------------------------------------------------------------------
+# CHK003 — column projection schema drift (project-level).
+# ----------------------------------------------------------------------
+
+#: module-level dict literal mapping record class -> projected fields.
+_PROJECTION_SPEC_NAME = "PROJECTION_SPEC"
+
+
+class ColumnSchemaChecker(ProjectChecker):
+    code = "CHK003"
+    name = "column schema drift"
+    rationale = (
+        "a field the column projector reads but the JSONL codec does not "
+        "persist would project correctly during the crawl yet re-project "
+        "differently (or crash) from the sealed segment log — the "
+        "columnar fallback path would silently diverge from the freshly "
+        "projected arrays"
+    )
+    hint = (
+        "project only fields the store codec round-trips "
+        "(repro.store.codecs; PROJECTION_SPEC in repro.store.columns, "
+        "DESIGN.md §11)"
+    )
+
+    def check_project(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterator[Finding]:
+        # Same collection as CHK002: field names appear as string
+        # constants inside each record class's codec pair.
+        codec_strings: dict[str, set[str]] = {}
+        for module in modules:
+            for node in module.tree.body:
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                for cls_name, functions in _CODEC_FUNCTIONS.items():
+                    if node.name in functions:
+                        codec_strings.setdefault(cls_name, set()).update(
+                            _string_constants(node)
+                        )
+        if not codec_strings:
+            return
+        for module in modules:
+            for spec in _projection_specs(module.tree):
+                for cls_name, fields in _projection_entries(spec):
+                    strings = codec_strings.get(cls_name)
+                    if strings is None:
+                        continue
+                    for field_name, node in fields:
+                        if field_name not in strings:
+                            where = "/".join(_CODEC_FUNCTIONS[cls_name])
+                            yield module.finding(
+                                self.code, node,
+                                f"projected field {cls_name}.{field_name} "
+                                f"is not persisted by its store codec "
+                                f"({where})",
+                                self.hint,
+                            )
+
+
+def _projection_specs(tree: ast.Module) -> Iterator[ast.Dict]:
+    """Module-level ``PROJECTION_SPEC = {...}`` dict literals."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == _PROJECTION_SPEC_NAME
+            ):
+                yield value
+                break
+
+
+def _projection_entries(
+    spec: ast.Dict,
+) -> Iterator[tuple[str, list[tuple[str, ast.AST]]]]:
+    """(class name, [(field name, node), ...]) pairs of a spec literal."""
+    for key, value in zip(spec.keys, spec.values):
+        if not (
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+        ):
+            continue
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            continue
+        fields = [
+            (element.value, element)
+            for element in value.elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ]
+        yield key.value, fields
+
+
+# ----------------------------------------------------------------------
 # The catalog.
 # ----------------------------------------------------------------------
 
@@ -906,6 +1008,7 @@ CATALOG: tuple[Checker, ...] = (
 PROJECT_CATALOG: tuple[ProjectChecker, ...] = (
     CheckpointSchemaChecker(),
     StoreCodecChecker(),
+    ColumnSchemaChecker(),
 )
 
 

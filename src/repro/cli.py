@@ -15,11 +15,16 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.core.pipeline import ReproductionPipeline
-from repro.core.report import render_full_report, render_stage_timings
+from repro.core.report import (
+    render_full_report,
+    render_stage_timings,
+    report_to_payload,
+)
 from repro.crawler.checkpoint import dump_result
 from repro.crawler.runtime import Checkpointer, load_state
 from repro.net.errors import CrawlKilled
@@ -53,6 +58,12 @@ def _add_crawl_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--segment-records", type=int, default=4096, metavar="N",
         help="records per sealed corpus segment (default 4096)")
+    parser.add_argument(
+        "--no-columns", action="store_true",
+        help="disable the columnar analytics layer: skip projecting "
+             "sealed segments into typed column arrays and run the §4 "
+             "analyses over the record dicts instead (the oracle path; "
+             "every report number is identical either way)")
 
 
 def _add_resume_flags(parser: argparse.ArgumentParser) -> None:
@@ -126,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the crawl corpus to this JSON file")
     run.add_argument("--report", type=Path, default=None,
                      help="write the text report to this file")
+    run.add_argument("--report-json", type=Path, default=None,
+                     help="write the full analysis payload as JSON (stable "
+                          "across runs of the same world; extras excluded)")
     run.add_argument("--with-faults", action="store_true",
                      help="inject transport faults (exercises retries)")
     _add_crawl_engine_flags(run)
@@ -181,6 +195,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         parse_workers=args.parse_workers,
         store_dir=str(args.store_dir) if args.store_dir is not None else None,
         segment_records=args.segment_records,
+        columns=not args.no_columns,
     )
     print(f"world: {pipeline.world.summary()}", file=sys.stderr)
     default_state = Path(
@@ -205,6 +220,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.report is not None:
         args.report.write_text(text + "\n", encoding="utf-8")
         print(f"report written to {args.report}", file=sys.stderr)
+    if args.report_json is not None:
+        payload = report_to_payload(report)
+        args.report_json.write_text(
+            json.dumps(payload, indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"JSON payload written to {args.report_json}", file=sys.stderr)
     return 0
 
 
@@ -216,6 +237,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         parse_workers=args.parse_workers,
         store_dir=str(args.store_dir) if args.store_dir is not None else None,
         segment_records=args.segment_records,
+        columns=not args.no_columns,
     )
     default_state = Path(str(args.out) + ".state.json")
     checkpointer, resume_payload = _build_runtime(args, pipeline, default_state)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.scoring import ScoreStore
 from repro.core.urls import second_level_domain
-from repro.store import Corpus
+from repro.store import Corpus, columns_of
 from repro.platform.urlgen import ALLSIDES_BIAS
 from repro.stats.hypothesis_tests import KSResult, pairwise_ks
 
@@ -70,6 +70,26 @@ def analyze_bias(
 ) -> BiasAnalysis:
     """Group comment scores by the bias of the commented URL."""
     store = store or ScoreStore()
+    view = columns_of(result)
+    if view is not None:
+        analysis = _bias_samples_columnar(view, store, bias_table, max_per_bias)
+    else:
+        analysis = _bias_samples_dicts(result, store, bias_table, max_per_bias)
+    analysis.ks_toxicity = pairwise_ks(
+        {b: v for b, v in analysis.toxicity.items() if v.size >= 5}
+    )
+    analysis.ks_attack = pairwise_ks(
+        {b: v for b, v in analysis.attack.items() if v.size >= 5}
+    )
+    return analysis
+
+
+def _bias_samples_dicts(
+    result: Corpus,
+    store: ScoreStore,
+    bias_table: Mapping[str, str] | None,
+    max_per_bias: int,
+) -> BiasAnalysis:
     url_bias = {
         record.commenturl_id: bias_of_url(record.url, bias_table)
         for record in result.urls.values()
@@ -87,15 +107,55 @@ def analyze_bias(
         tox[bias].append(scores["SEVERE_TOXICITY"])
         atk[bias].append(scores["ATTACK_ON_AUTHOR"])
 
-    analysis = BiasAnalysis(
+    return BiasAnalysis(
         toxicity={b: np.asarray(v) for b, v in tox.items()},
         attack={b: np.asarray(v) for b, v in atk.items()},
         comment_counts=counts,
     )
-    analysis.ks_toxicity = pairwise_ks(
-        {b: v for b, v in analysis.toxicity.items() if v.size >= 5}
+
+
+def _bias_samples_columnar(
+    view,
+    store: ScoreStore,
+    bias_table: Mapping[str, str] | None,
+    max_per_bias: int,
+) -> BiasAnalysis:
+    table = bias_table if bias_table is not None else ALLSIDES_BIAS
+    category_index = {name: k for k, name in enumerate(BIAS_CATEGORIES)}
+    not_ranked = category_index["not-ranked"]
+
+    # Bias category code per domain ordinal, scattered onto url ids,
+    # then gathered per comment; unknown url ids stay "not-ranked".
+    domain_code = np.asarray(
+        [
+            category_index[table.get(domain, "not-ranked")]
+            for domain in view.tables.domains.values
+        ],
+        dtype=np.int64,
     )
-    analysis.ks_attack = pairwise_ks(
-        {b: v for b, v in analysis.attack.items() if v.size >= 5}
+    urls = view.urls
+    if domain_code.size:
+        url_code = np.where(
+            urls.domain >= 0, domain_code[np.maximum(urls.domain, 0)], not_ranked
+        )
+    else:
+        url_code = np.full(urls.n, not_ranked, dtype=np.int64)
+    code_by_url_id = np.full(
+        len(view.tables.url_ids), not_ranked, dtype=np.int64
     )
-    return analysis
+    code_by_url_id[urls.key] = url_code
+    codes = code_by_url_id[view.comments.url]
+
+    severe = view.attribute_scores(store, "SEVERE_TOXICITY")
+    attack = view.attribute_scores(store, "ATTACK_ON_AUTHOR")
+    total_counts = np.bincount(codes, minlength=len(BIAS_CATEGORIES))
+    tox: dict[str, np.ndarray] = {}
+    atk: dict[str, np.ndarray] = {}
+    counts: dict[str, int] = {}
+    for name, code in category_index.items():
+        rows = np.nonzero(codes == code)[0][:max_per_bias]
+        tox[name] = severe[rows]
+        atk[name] = attack[rows]
+        counts[name] = int(total_counts[code])
+
+    return BiasAnalysis(toxicity=tox, attack=atk, comment_counts=counts)

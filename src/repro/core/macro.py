@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.crawler.records import CrawledGabAccount
-from repro.store import Corpus
+from repro.store import Corpus, columns_of
 from repro.stats.distributions import ECDF, top_share
 from repro.stats.hypothesis_tests import rank_correlation
 
@@ -53,6 +53,27 @@ def _parse_iso(timestamp: str) -> float:
     ).replace(tzinfo=datetime.timezone.utc).timestamp()
 
 
+def _parse_iso_many(stamps: list[str]) -> np.ndarray:
+    """Vectorized `_parse_iso` over the canonical timestamp layout.
+
+    The platform emits exactly ``YYYY-MM-DDTHH:MM:SS.000Z`` (24 chars,
+    literal ``.000Z``), which datetime64 parses after stripping the
+    suffix; both paths yield whole Unix seconds, so the float values are
+    bit-identical.  Anything off-layout falls back to the scalar parser,
+    preserving its error behaviour.
+    """
+    arr = np.asarray(stamps, dtype=np.str_)
+    try:
+        if arr.dtype != np.dtype("<U24") or not np.all(
+            np.strings.endswith(arr, ".000Z")
+        ):
+            raise ValueError("non-canonical timestamp layout")
+        seconds = arr.astype("<U19").astype("datetime64[s]").astype(np.int64)
+    except (ValueError, TypeError):
+        return np.asarray([_parse_iso(stamp) for stamp in stamps])
+    return seconds.astype(float)
+
+
 def analyze_gab_growth(accounts: list[CrawledGabAccount]) -> GabGrowthSeries:
     """Build the Fig. 2 series and quantify ID-counter anomalies.
 
@@ -62,18 +83,17 @@ def analyze_gab_growth(accounts: list[CrawledGabAccount]) -> GabGrowthSeries:
     """
     if not accounts:
         raise ValueError("no accounts to analyze")
-    times = np.asarray([_parse_iso(a.created_at_iso) for a in accounts])
+    times = _parse_iso_many([a.created_at_iso for a in accounts])
     ids = np.asarray([a.gab_id for a in accounts])
     order = np.argsort(times)
     times, ids = times[order], ids[order]
 
-    anomalous = 0
-    running_max = 0
-    for gab_id in ids:
-        if gab_id < running_max * 0.5:
-            # Far below the counter's frontier: a reassigned reserved ID.
-            anomalous += 1
-        running_max = max(running_max, int(gab_id))
+    # Running maximum among *earlier* accounts: far-below-frontier IDs
+    # are reassigned reserved IDs.
+    frontier = np.concatenate(
+        [[0], np.maximum.accumulate(ids)[:-1]]
+    )
+    anomalous = int((ids < frontier * 0.5).sum())
 
     rho = rank_correlation(times, ids) if ids.size > 1 else 1.0
 
@@ -104,10 +124,16 @@ class CommentConcentration:
 
 def comment_concentration(result: Corpus) -> CommentConcentration:
     """Compute Fig. 3's distribution over the crawled corpus."""
-    by_author = result.comments_by_author()
-    counts = np.asarray(
-        sorted((len(v) for v in by_author.values()), reverse=True), dtype=float
-    )
+    view = columns_of(result)
+    if view is not None:
+        per_author = view.comments_per_author()
+        counts = np.sort(per_author[per_author > 0])[::-1].astype(float)
+    else:
+        by_author = result.comments_by_author()
+        counts = np.asarray(
+            sorted((len(v) for v in by_author.values()), reverse=True),
+            dtype=float,
+        )
     if counts.size == 0:
         raise ValueError("corpus has no comments")
     shares = {
@@ -151,6 +177,9 @@ def user_table(result: Corpus) -> UserTableStats:
     Only users whose commentAuthor blob was mined (i.e. that have posted)
     contribute — matching the paper's n = active users.
     """
+    view = columns_of(result)
+    if view is not None:
+        return _user_table_columnar(view)
     active = [u for u in result.active_users() if u.permissions]
     stats = UserTableStats(n_active=len(active))
     for user in active:
@@ -161,6 +190,39 @@ def user_table(result: Corpus) -> UserTableStats:
             if value:
                 stats.filter_counts[name] = stats.filter_counts.get(name, 0) + 1
     return stats
+
+
+def _mask_counts(masks: np.ndarray, names: list[str]) -> dict[str, int]:
+    """Per-bit truthy counts, keyed in dict-path insertion order.
+
+    The dict path inserts a name the first time a selected user carries
+    the flag truthily, iterating each user's (fixed-order) items — so
+    ordering by (first truthy row, bit ordinal) reproduces it exactly.
+    """
+    entries = []
+    for bit, name in enumerate(names):
+        hits = (masks >> np.uint64(bit)) & np.uint64(1)
+        count = int(hits.sum())
+        if count:
+            entries.append((int(np.argmax(hits)), bit, count))
+    entries.sort()
+    return {names[bit]: count for _, bit, count in entries}
+
+
+def _user_table_columnar(view) -> UserTableStats:
+    users = view.users
+    selected = view.active_author_mask()[users.author] & (
+        users.has_perms != 0
+    )
+    return UserTableStats(
+        n_active=int(selected.sum()),
+        flag_counts=_mask_counts(
+            users.perm_mask[selected], view.tables.flags.values
+        ),
+        filter_counts=_mask_counts(
+            users.filter_mask[selected], view.tables.filters.values
+        ),
+    )
 
 
 # ---------------------------------------------------------------------------

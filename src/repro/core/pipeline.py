@@ -205,6 +205,11 @@ class ReproductionPipeline:
             either way — only checkpoint-tick cost and peak checkpoint
             size change.
         segment_records: records per sealed corpus segment.
+        columns: project sealed segments into typed column arrays and
+            run the §4 analyses vectorized over them.  ``False`` forces
+            the record-dict analysis path (the oracle the columnar path
+            is tested against); every report number is identical either
+            way.
     """
 
     def __init__(
@@ -217,6 +222,7 @@ class ReproductionPipeline:
         parse_workers: int = 0,
         store_dir: str | None = None,
         segment_records: int = 4096,
+        columns: bool = True,
     ):
         self.world = world or build_world(config)
         self.origins: Origins = build_origins(
@@ -229,12 +235,15 @@ class ReproductionPipeline:
         self.parse_workers = int(parse_workers)
         self.store_dir = store_dir
         self.segment_records = int(segment_records)
+        self.columns = bool(columns)
         self._pools: dict[str, FetchPool] = {}
 
     def _new_store(self) -> CorpusStore:
         """A fresh corpus store configured from the pipeline's flags."""
         return CorpusStore(
-            store_dir=self.store_dir, segment_records=self.segment_records
+            store_dir=self.store_dir,
+            segment_records=self.segment_records,
+            columns=self.columns,
         )
 
     def _pool_for(self, stage: str) -> FetchPool:
@@ -564,6 +573,7 @@ class ReproductionPipeline:
                 artifacts.corpus_texts(),
                 artifacts.baseline_texts,
                 self.store,
+                corpus=corpus,
             ),
             bias=analyze_bias(corpus, self.store),
             social=analyze_social_network(artifacts.graph, median_toxicity),
@@ -572,6 +582,9 @@ class ReproductionPipeline:
             ),
         )
         report.extras["active_gab_ids"] = artifacts.active_ids
+        column_stats = getattr(corpus, "column_stats", None)
+        if column_stats is not None:
+            report.extras["columns"] = column_stats()
         return report
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.scoring import ScoreStore
-from repro.store import Corpus
+from repro.store import Corpus, columns_of
 from repro.crawler.reddit_crawl import RedditMatchResult
 from repro.stats.distributions import ECDF
 
@@ -148,6 +148,7 @@ def relative_toxicity(
     baseline_texts: Mapping[str, Sequence[str]],
     store: ScoreStore | None = None,
     max_sample: int = 20_000,
+    corpus: Corpus | None = None,
 ) -> RelativeToxicity:
     """Score all corpora on the Fig. 7 attributes.
 
@@ -157,18 +158,23 @@ def relative_toxicity(
         store: shared score store (ideally pre-populated by the
             pipeline's scoring pass).
         max_sample: per-dataset cap (deterministic prefix).
+        corpus: the Dissenter corpus the texts came from; when it has a
+            column view its memoised score rows serve the dissenter
+            sample (the same cached dicts the dict path would score).
     """
     store = store or ScoreStore()
-    corpora: dict[str, Sequence[str]] = {
-        "dissenter": list(dissenter_texts)[:max_sample]
-    }
+    view = columns_of(corpus) if corpus is not None else None
+    rows_by_corpus: dict[str, list] = {}
+    if view is not None:
+        rows_by_corpus["dissenter"] = view.score_rows(store)[:max_sample]
+    else:
+        rows_by_corpus["dissenter"] = store.score_many(
+            list(dissenter_texts)[:max_sample]
+        )
     for name, texts in baseline_texts.items():
-        corpora[name] = list(texts)[:max_sample]
+        rows_by_corpus[name] = store.score_many(list(texts)[:max_sample])
 
     analysis = RelativeToxicity()
-    rows_by_corpus = {
-        name: store.score_many(texts) for name, texts in corpora.items()
-    }
     for attribute in FIG7_ATTRIBUTES:
         analysis.scores[attribute] = {
             name: np.asarray([row[attribute] for row in rows])

@@ -13,7 +13,7 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
-from repro.store import Corpus
+from repro.store import Corpus, columns_of
 
 __all__ = ["UrlTableStats", "analyze_urls", "second_level_domain", "tld_of"]
 
@@ -84,6 +84,9 @@ class UrlTableStats:
 
 def analyze_urls(result: Corpus) -> UrlTableStats:
     """Run the §4.2.1 census over the crawled URL set."""
+    view = columns_of(result)
+    if view is not None:
+        return _analyze_urls_columnar(view)
     urls = [u.url for u in result.urls.values()]
     stats = UrlTableStats(total_urls=len(urls))
 
@@ -131,4 +134,81 @@ def analyze_urls(result: Corpus) -> UrlTableStats:
         for domain, counts in volumes.items()
         if counts
     }
+    return stats
+
+
+def _ordered_counts(values: np.ndarray, n_names: int) -> list[tuple[int, int]]:
+    """Occurrence counts per ordinal as (ordinal, count) pairs.
+
+    Pairs come in first-appearance order over ``values`` (negative
+    ordinals meaning "no value" are skipped), which is exactly the
+    insertion order the dict path produces.
+    """
+    valid = values[values >= 0]
+    if valid.size == 0:
+        return []
+    counts = np.bincount(valid, minlength=n_names)
+    first = np.full(n_names, -1, dtype=np.int64)
+    first[valid[::-1]] = np.arange(valid.size - 1, -1, -1, dtype=np.int64)
+    present = np.nonzero(counts)[0]
+    order = present[np.argsort(first[present], kind="stable")]
+    return [(int(ordinal), int(counts[ordinal])) for ordinal in order]
+
+
+def _analyze_urls_columnar(view) -> UrlTableStats:
+    """Vectorized §4.2.1 census (bit-identical to the dict path)."""
+    urls = view.urls
+    tables = view.tables
+    stats = UrlTableStats(total_urls=urls.n)
+
+    scheme_names = tables.schemes.values
+    for ordinal, count in _ordered_counts(urls.scheme, len(scheme_names)):
+        stats.scheme_counts[scheme_names[ordinal]] = count
+    tld_names = tables.tlds.values
+    for ordinal, count in _ordered_counts(urls.tld, len(tld_names)):
+        stats.tld_counts[tld_names[ordinal]] = count
+    domain_names = tables.domains.values
+    domain_pairs = _ordered_counts(urls.domain, len(domain_names))
+    for ordinal, count in domain_pairs:
+        stats.domain_counts[domain_names[ordinal]] = count
+    stats.multi_param_urls = int(urls.multi.sum())
+
+    # Duplicate censuses need the URL strings; flag each *distinct*
+    # string once, then weight by per-record occurrence.
+    url_names = tables.url_strings.values
+    distinct = np.unique(urls.str_ord)
+    distinct_strs = [url_names[ordinal] for ordinal in distinct.tolist()]
+    https_set = {
+        s[len("https://"):] for s in distinct_strs if s.startswith("https://")
+    }
+    all_urls = set(distinct_strs)
+    protocol_dup = np.zeros(len(url_names), dtype=bool)
+    trailing_dup = np.zeros(len(url_names), dtype=bool)
+    for ordinal, text in zip(distinct.tolist(), distinct_strs):
+        if text.startswith("http://") and text[len("http://"):] in https_set:
+            protocol_dup[ordinal] = True
+        if text.endswith("/") and text[:-1] in all_urls:
+            trailing_dup[ordinal] = True
+    stats.protocol_duplicates = int(protocol_dup[urls.str_ord].sum())
+    stats.trailing_slash_duplicates = int(trailing_dup[urls.str_ord].sum())
+
+    # Per-URL comment volume: top-20 by (count, url) descending, and the
+    # per-domain medians keyed in first-appearance order.
+    volumes = view.comments_per_url_id()[urls.key]
+    url_arr = np.asarray(url_names, dtype=np.str_)[urls.str_ord]
+    ranked = np.lexsort((url_arr, volumes))[::-1][:20]
+    stats.top_volume_urls = [
+        (int(volumes[i]), str(url_arr[i])) for i in ranked
+    ]
+    with_domain = urls.domain >= 0
+    domains = urls.domain[with_domain]
+    domain_volumes = volumes[with_domain]
+    grouped = domain_volumes[np.argsort(domains, kind="stable")]
+    group_counts = np.bincount(domains, minlength=len(domain_names))
+    offsets = np.concatenate([[0], np.cumsum(group_counts, dtype=np.int64)])
+    for ordinal, _ in domain_pairs:
+        start, end = offsets[ordinal], offsets[ordinal + 1]
+        stats.median_volume_by_domain[domain_names[ordinal]] = float(
+            np.median(grouped[start:end])
+        )
     return stats

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.scoring import ScoreStore
-from repro.store import Corpus
+from repro.store import Corpus, columns_of
 
 __all__ = ["VoteToxicity", "analyze_votes"]
 
@@ -48,8 +48,24 @@ def analyze_votes(
 ) -> VoteToxicity:
     """Pair every URL's net vote score with its comment toxicity."""
     store = store or ScoreStore()
-    by_url = result.comments_by_url()
+    view = columns_of(result)
+    if view is not None:
+        nets, means, medians = _url_toxicity_columnar(
+            view, store, max_comments_per_url
+        )
+    else:
+        nets, means, medians = _url_toxicity_dicts(
+            result, store, max_comments_per_url
+        )
+    return _bucketize(
+        np.asarray(nets), np.asarray(means), np.asarray(medians)
+    )
 
+
+def _url_toxicity_dicts(
+    result: Corpus, store: ScoreStore, max_comments_per_url: int
+) -> tuple[list[int], list[float], list[float]]:
+    by_url = result.comments_by_url()
     nets: list[int] = []
     means: list[float] = []
     medians: list[float] = []
@@ -64,11 +80,33 @@ def analyze_votes(
         nets.append(record.net_votes)
         means.append(float(scores.mean()))
         medians.append(float(np.median(scores)))
+    return nets, means, medians
 
-    nets_arr = np.asarray(nets)
-    means_arr = np.asarray(means)
-    medians_arr = np.asarray(medians)
 
+def _url_toxicity_columnar(
+    view, store: ScoreStore, max_comments_per_url: int
+) -> tuple[list[int], list[float], list[float]]:
+    scores = view.attribute_scores(store, "SEVERE_TOXICITY")
+    order, offsets = view.url_comment_order()
+    urls = view.urls
+    nets: list[int] = []
+    means: list[float] = []
+    medians: list[float] = []
+    for url_ordinal, net in zip(urls.key.tolist(), urls.net.tolist()):
+        start, end = offsets[url_ordinal], offsets[url_ordinal + 1]
+        if start == end:
+            continue
+        rows = order[start:min(end, start + max_comments_per_url)]
+        group = scores[rows]
+        nets.append(net)
+        means.append(float(group.mean()))
+        medians.append(float(np.median(group)))
+    return nets, means, medians
+
+
+def _bucketize(
+    nets_arr: np.ndarray, means_arr: np.ndarray, medians_arr: np.ndarray
+) -> VoteToxicity:
     analysis = VoteToxicity(
         net_scores=nets_arr,
         mean_toxicity=means_arr,

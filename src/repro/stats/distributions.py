@@ -38,6 +38,9 @@ class ECDF:
             raise ValueError("ECDF samples must not contain NaN")
         self._sorted = np.sort(data)
         self._n = data.size
+        # Rank grid (i+1)/n shared by steps() and the searchsorted-based
+        # quantile(): the smallest rank >= q locates the q-quantile.
+        self._ranks = np.arange(1, self._n + 1) / self._n
 
     @property
     def n(self) -> int:
@@ -57,22 +60,32 @@ class ECDF:
             return float(result)
         return result
 
-    def quantile(self, q: float) -> float:
-        """Inverse CDF: smallest x with F(x) >= q."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile level must be in [0, 1], got {q}")
-        if q == 0.0:
-            return float(self._sorted[0])
-        idx = int(np.ceil(q * self._n)) - 1
-        return float(self._sorted[idx])
+    def quantile(
+        self, q: float | np.ndarray
+    ) -> float | np.ndarray:
+        """Inverse CDF: smallest x with F(x) >= q; accepts scalars or arrays.
 
-    def survival(self, x: float) -> float:
-        """Complementary CDF: P(X > x)."""
-        return 1.0 - float(self(x))
+        Vectorized as a single ``np.searchsorted`` against the cached rank
+        grid — the smallest index i with (i+1)/n >= q is exactly the
+        ``ceil(q*n) - 1`` the scalar formula used, with q == 0 collapsing
+        to the sample minimum.
+        """
+        q_arr = np.asarray(q, dtype=float)
+        if ((q_arr < 0.0) | (q_arr > 1.0) | np.isnan(q_arr)).any():
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        idx = np.searchsorted(self._ranks, q_arr, side="left")
+        result = self._sorted[np.minimum(idx, self._n - 1)]
+        if np.isscalar(q) or np.asarray(q).ndim == 0:
+            return float(result)
+        return result
+
+    def survival(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Complementary CDF: P(X > x); accepts scalars or arrays."""
+        return 1.0 - self(x)
 
     def steps(self) -> tuple[np.ndarray, np.ndarray]:
         """Return (x, F(x)) arrays suitable for plotting a step function."""
-        return self._sorted.copy(), np.arange(1, self._n + 1) / self._n
+        return self._sorted.copy(), self._ranks.copy()
 
     def evaluate_grid(self, points: int = 101) -> tuple[np.ndarray, np.ndarray]:
         """Evaluate the ECDF on an evenly spaced grid over its support."""

@@ -8,6 +8,8 @@ Public surface:
 * ``Corpus`` — the type every §4 analysis accepts: a ``CorpusStore`` or
   a legacy in-memory :class:`~repro.crawler.records.CrawlResult` (the
   two expose the same duck-typed access surface).
+* the columnar projection (:class:`ColumnView`, :func:`columns_of`,
+  :data:`PROJECTION_SPEC`) that vectorized §4 analyses dispatch on.
 * the canonical JSONL codecs and segment/manifest helpers.
 """
 
@@ -23,6 +25,13 @@ from repro.store.codecs import (
     encode_url,
     encode_user,
 )
+from repro.store.columns import (
+    PROJECTION_SPEC,
+    ColumnProjector,
+    ColumnView,
+    columns_of,
+    load_columns,
+)
 from repro.store.corpus import (
     STORE_FORMAT_VERSION,
     Corpus,
@@ -32,6 +41,7 @@ from repro.store.corpus import (
 from repro.store.segments import (
     MANIFEST_NAME,
     SegmentRef,
+    columns_path,
     hash_lines,
     load_manifest,
     read_segment,
@@ -42,12 +52,18 @@ from repro.store.segments import (
 )
 
 __all__ = [
+    "ColumnProjector",
+    "ColumnView",
     "Corpus",
     "CorpusStore",
     "MANIFEST_NAME",
+    "PROJECTION_SPEC",
     "STORE_FORMAT_VERSION",
     "SealedCorpusError",
     "SegmentRef",
+    "columns_of",
+    "columns_path",
+    "load_columns",
     "decode_comment",
     "decode_line",
     "decode_url",

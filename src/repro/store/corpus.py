@@ -25,6 +25,13 @@ secondary-index methods) while adding:
   ``CrawlResult`` always did.
 * **streaming read views** (:meth:`iter_comments`, :meth:`texts`) so
   scoring no longer materializes every comment text into a list.
+* a **columnar projection** (:mod:`repro.store.columns`): unless built
+  with ``columns=False``, every sealed segment also spills typed numpy
+  column arrays (``<name>.columns.npz``, sha256-manifested) and the
+  sealed store exposes a :meth:`column_view` that the vectorized §4
+  analyses consume.  The dict path stays authoritative — column files
+  are derived data, re-projected from the verified JSONL when missing
+  or corrupt.
 
 The store deliberately does *not* import :mod:`repro.crawler.checkpoint`
 payload helpers at class level — checkpoint v3 stores the snapshot as a
@@ -34,6 +41,7 @@ v2 "result" payloads load transparently.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterator
 
@@ -48,6 +56,13 @@ from repro.store.codecs import (
     encode_comment,
     encode_url,
     encode_user,
+)
+from repro.store.columns import (
+    ColumnProjector,
+    ColumnView,
+    adopt_columns,
+    heal_columns,
+    load_columns,
 )
 from repro.store.segments import (
     SegmentRef,
@@ -78,12 +93,16 @@ class CorpusStore:
         store_dir: spill directory for sealed segments; ``None`` keeps
             sealed segments inline (in memory and in checkpoints).
         segment_records: records per sealed segment (>= 1).
+        columns: project sealed segments into columnar ``.npz`` arrays
+            (``False`` is the ``--no-columns`` oracle mode: analyses
+            fall back to the dict path, bit-identically).
     """
 
     def __init__(
         self,
         store_dir: str | Path | None = None,
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        columns: bool = True,
     ):
         if segment_records < 1:
             raise ValueError("segment_records must be >= 1")
@@ -92,6 +111,18 @@ class CorpusStore:
         self.comments: dict[str, CrawledComment] = {}
         self.store_dir = Path(store_dir) if store_dir is not None else None
         self.segment_records = int(segment_records)
+        self.columns = bool(columns)
+        self._projector = ColumnProjector() if self.columns else None
+        self._inline_columns: dict[str, dict] = {}
+        #: columnar projection diagnostics (surfaced on report extras)
+        self.column_counters = {
+            "projected": 0,          # segments projected at seal
+            "reused": 0,             # identical file already on disk
+            "loads": 0,              # verified .npz loads into a view
+            "fallbacks": 0,          # missing/corrupt file re-projected
+            "hash_mismatches": 0,    # re-projection disagreed with manifest
+            "view_cache_hits": 0,    # memoised view/chunks served again
+        }
         self._refs: list[SegmentRef] = []
         self._inline_segments: dict[str, list[str]] = {}
         self._tail: list[str] = []
@@ -103,6 +134,8 @@ class CorpusStore:
         self._memo_by_author: dict[str, list[CrawledComment]] | None = None
         self._memo_active_ids: set[str] | None = None
         self._memo_active_users: list[CrawledUser] | None = None
+        self._memo_chunks: list[dict] | None = None
+        self._memo_view: ColumnView | None = None
 
     # ------------------------------------------------------------------
     # Write path.
@@ -126,18 +159,24 @@ class CorpusStore:
         """Record (or upsert) one user; appends a log line."""
         self._guard()
         self.users[user.username] = user
+        if self._projector is not None:
+            self._projector.observe_user(user)
         self._append(encode_user(user))
 
     def add_url(self, url: CrawledUrl) -> None:
         """Record (or upsert) one URL; appends a log line."""
         self._guard()
         self.urls[url.commenturl_id] = url
+        if self._projector is not None:
+            self._projector.observe_url(url)
         self._append(encode_url(url))
 
     def add_comment(self, comment: CrawledComment) -> None:
         """Record (or upsert) one comment; appends a log line."""
         self._guard()
         self.comments[comment.comment_id] = comment
+        if self._projector is not None:
+            self._projector.observe_comment(comment)
         self._append(encode_comment(comment))
 
     def touch_user(self, user: CrawledUser) -> None:
@@ -152,11 +191,21 @@ class CorpusStore:
     def _seal_segment(self) -> None:
         lines, self._tail = self._tail, []
         name = segment_name(len(self._refs) + 1)
+        arrays = None
+        if self._projector is not None:
+            arrays = self._projector.take_segment(len(lines))
         if self.store_dir is not None:
             ref = write_segment(self.store_dir, name, lines)
+            if arrays is not None:
+                sha, reused = adopt_columns(self.store_dir, name, arrays)
+                ref = replace(ref, columns_sha256=sha)
+                self.column_counters["reused" if reused else "projected"] += 1
         else:
             ref = SegmentRef(name=name, count=len(lines), sha256=hash_lines(lines))
             self._inline_segments[name] = lines
+            if arrays is not None:
+                self._inline_columns[name] = arrays
+                self.column_counters["projected"] += 1
         self._refs.append(ref)
         if self.store_dir is not None:
             write_manifest(self.store_dir, self.segment_records, self._refs)
@@ -366,12 +415,28 @@ class CorpusStore:
                     )
             for line in lines:
                 self._apply_line(line)
+            arrays = None
+            if self._projector is not None:
+                arrays = self._projector.take_segment(ref.count)
             if self.store_dir is not None:
                 # Adopted by this store's directory (covers resuming an
                 # inline checkpoint into a --store-dir run).
                 write_segment(self.store_dir, ref.name, lines)
+                if arrays is not None:
+                    sha, reused = adopt_columns(self.store_dir, ref.name, arrays)
+                    ref = replace(ref, columns_sha256=sha)
+                    self.column_counters[
+                        "reused" if reused else "projected"
+                    ] += 1
             else:
                 self._inline_segments[ref.name] = lines
+                if arrays is not None:
+                    self._inline_columns[ref.name] = arrays
+                    self.column_counters["projected"] += 1
+                if ref.columns_sha256 is not None:
+                    # Inline stores carry no column files; the hash
+                    # would dangle in re-snapshots.
+                    ref = replace(ref, columns_sha256=None)
             self._refs.append(ref)
         if self.store_dir is not None and self._refs:
             write_manifest(self.store_dir, self.segment_records, self._refs)
@@ -400,6 +465,10 @@ class CorpusStore:
         self._refs = []
         self._inline_segments = {}
         self._tail = []
+        self._inline_columns = {}
+        self._projector = ColumnProjector() if self.columns else None
+        self._memo_chunks = None
+        self._memo_view = None
 
     def _apply_line(self, line: str) -> None:
         kind, record = decode_line(line)
@@ -409,6 +478,78 @@ class CorpusStore:
             self.urls[record.commenturl_id] = record
         else:
             self.comments[record.comment_id] = record
+        if self._projector is not None:
+            self._projector.observe(kind, record)
+
+    # ------------------------------------------------------------------
+    # Columnar read surface.
+    # ------------------------------------------------------------------
+
+    @property
+    def projector(self) -> ColumnProjector | None:
+        """The column projector (None when built with ``columns=False``)."""
+        return self._projector
+
+    def column_chunks(self) -> list[dict]:
+        """Per-segment column arrays plus the unsealed tail.
+
+        Spilled segments are hash-verified and memory-mapped; a missing
+        or corrupt column file falls back to re-projection from the
+        (itself hash-verified) segment JSONL, healing the file on disk
+        when the recomputed bytes match the manifest.  Memoised once the
+        store is sealed.
+        """
+        if self._projector is None:
+            raise RuntimeError("store was built with columns=False")
+        if self._memo_chunks is not None:
+            self.column_counters["view_cache_hits"] += 1
+            return self._memo_chunks
+        chunks: list[dict] = []
+        for index, ref in enumerate(self._refs):
+            arrays = self._inline_columns.get(ref.name)
+            if arrays is None and self.store_dir is not None:
+                arrays = load_columns(self.store_dir, ref)
+                if arrays is not None:
+                    self.column_counters["loads"] += 1
+            if arrays is None:
+                lines = self._inline_segments.get(ref.name)
+                if lines is None:
+                    lines = read_segment(self.store_dir, ref)
+                arrays = self._projector.project_lines(lines, index)
+                self.column_counters["fallbacks"] += 1
+                if self.store_dir is not None and ref.columns_sha256 is not None:
+                    healed = heal_columns(
+                        self.store_dir, ref.name, arrays, ref.columns_sha256
+                    )
+                    if not healed:
+                        self.column_counters["hash_mismatches"] += 1
+            chunks.append(arrays)
+        chunks.append(self._projector.peek_tail())
+        if self._sealed:
+            self._memo_chunks = chunks
+        return chunks
+
+    def column_view(self) -> ColumnView | None:
+        """The columnar analysis surface (sealed, columns-enabled stores).
+
+        None before :meth:`seal` and for ``columns=False`` stores — the
+        analyses then keep using the dict-path oracle.
+        """
+        if self._projector is None or not self._sealed:
+            return None
+        if self._memo_view is None:
+            self._memo_view = ColumnView(self)
+        else:
+            self.column_counters["view_cache_hits"] += 1
+        return self._memo_view
+
+    def column_stats(self) -> dict:
+        """Projection/cache counters for report extras and benchmarks."""
+        return {
+            "enabled": self._projector is not None,
+            "segments": len(self._refs),
+            **self.column_counters,
+        }
 
     # ------------------------------------------------------------------
     # Interop.

@@ -5,6 +5,13 @@ records whose bytes are covered by a SHA-256 content hash; the manifest
 lists every sealed segment in order.  Checkpoint format v3 records only
 these (name, count, hash) references plus the unsealed tail, so a
 checkpoint tick costs O(progress since the last tick), not O(corpus).
+
+A segment may additionally carry a columnar projection — a ``.npz``
+sibling file (:mod:`repro.store.columns`) whose SHA-256 travels in the
+same reference as ``columns_sha256``.  The column file is derived data:
+when it is missing or fails verification the store re-projects it from
+the hash-verified JSONL, so older manifests without the field stay
+loadable.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from repro.crawler.checkpoint import atomic_write_json, atomic_write_text
 __all__ = [
     "MANIFEST_NAME",
     "SegmentRef",
+    "columns_path",
     "hash_lines",
     "load_manifest",
     "read_segment",
@@ -46,6 +54,11 @@ def segment_path(store_dir: Path, name: str) -> Path:
     return Path(store_dir) / f"{name}.jsonl"
 
 
+def columns_path(store_dir: Path, name: str) -> Path:
+    """Where a segment's columnar projection (``.npz``) lives on disk."""
+    return Path(store_dir) / f"{name}.columns.npz"
+
+
 def hash_lines(lines: list[str]) -> str:
     """SHA-256 over the segment's exact on-disk bytes."""
     body = "".join(line + "\n" for line in lines)
@@ -54,14 +67,26 @@ def hash_lines(lines: list[str]) -> str:
 
 @dataclass(frozen=True)
 class SegmentRef:
-    """One sealed segment: its name, record count, and content hash."""
+    """One sealed segment: its name, record count, and content hashes.
+
+    ``columns_sha256`` covers the segment's derived ``.npz`` column file
+    when one has been spilled to disk; ``None`` means no columnar
+    projection is manifested (inline store, columns disabled, or a
+    pre-columnar manifest).
+    """
 
     name: str
     count: int
     sha256: str
+    columns_sha256: str | None = None
 
     def to_payload(self) -> dict:
-        return {"name": self.name, "count": self.count, "sha256": self.sha256}
+        payload = {
+            "name": self.name, "count": self.count, "sha256": self.sha256,
+        }
+        if self.columns_sha256 is not None:
+            payload["columns_sha256"] = self.columns_sha256
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "SegmentRef":
@@ -75,10 +100,12 @@ class SegmentRef:
                 f"segment ref must be an object, got {type(payload).__name__}"
             )
         try:
+            columns = payload.get("columns_sha256")
             ref = cls(
                 name=str(payload["name"]),
                 count=int(payload["count"]),
                 sha256=str(payload["sha256"]),
+                columns_sha256=str(columns) if columns is not None else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"malformed segment ref: {exc!r}") from exc

@@ -1,0 +1,29 @@
+"""CHK003 bad fixture: projected fields the codec does not persist."""
+
+import json
+
+
+PROJECTION_SPEC = {
+    "CrawledComment": (
+        "comment_id",
+        "text",
+        "shadow_label",                     # line 10: absent from codec
+    ),
+    "CrawledUser": ("username", "permissions"),   # line 12: permissions
+}
+
+
+def encode_comment(record) -> str:
+    return json.dumps({
+        "comment_id": record.comment_id,
+        "text": record.text,
+    })
+
+
+def decode_comment(line: str):
+    payload = json.loads(line)
+    return (payload["comment_id"], payload["text"])
+
+
+def encode_user(record) -> str:
+    return json.dumps({"username": record.username})

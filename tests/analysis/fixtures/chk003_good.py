@@ -1,0 +1,23 @@
+"""CHK003 good fixture: every projected field is persisted by its codec."""
+
+import json
+
+
+PROJECTION_SPEC = {
+    "CrawledUrl": ("commenturl_id", "url", "upvotes"),
+}
+
+
+def encode_url(record) -> str:
+    return json.dumps({
+        "commenturl_id": record.commenturl_id,
+        "url": record.url,
+        "upvotes": record.upvotes,
+    })
+
+
+def decode_url(line: str):
+    payload = json.loads(line)
+    return (
+        payload["commenturl_id"], payload["url"], int(payload["upvotes"])
+    )

@@ -130,6 +130,29 @@ def test_chk002_silent_without_codec_functions():
 
 
 # ----------------------------------------------------------------------
+# CHK003 — column projection schema drift (project-level pass).
+# ----------------------------------------------------------------------
+
+def test_chk003_bad_flags_unpersisted_projected_fields():
+    findings = run_fixture("chk003_bad.py")
+    chk = [f for f in findings if f.code == "CHK003"]
+    assert [f.line for f in chk] == [10, 12]
+    assert "CrawledComment.shadow_label" in chk[0].message
+    assert "CrawledUser.permissions" in chk[1].message
+    assert "codec" in chk[0].hint
+
+
+def test_chk003_good_is_clean():
+    assert run_fixture("chk003_good.py") == []
+
+
+def test_chk003_silent_without_codec_functions():
+    """A PROJECTION_SPEC alone (no codecs in scope) never fires."""
+    findings = run_fixture("chk001_bad.py")
+    assert [f for f in findings if f.code == "CHK003"] == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions fixture: valid, reasonless, unknown-code.
 # ----------------------------------------------------------------------
 
@@ -171,6 +194,8 @@ def test_catalog_codes_are_unique_and_documented():
         ("det004_bad.py", "det004_good.py"),
         ("conc001_bad.py", "conc001_good.py"),
         ("chk001_bad.py", "chk001_good.py"),
+        ("chk002_bad.py", "chk002_good.py"),
+        ("chk003_bad.py", "chk003_good.py"),
     ],
 )
 def test_every_bad_fixture_finds_something_good_finds_nothing(bad, good):

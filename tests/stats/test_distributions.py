@@ -77,6 +77,45 @@ class TestECDF:
         x = ecdf.quantile(q)
         assert ecdf(x) >= q - 1e-12
 
+    def test_quantile_accepts_arrays(self):
+        ecdf = ECDF(range(1, 101))
+        qs = np.asarray([0.0, 0.01, 0.5, 0.99, 1.0])
+        values = ecdf.quantile(qs)
+        assert isinstance(values, np.ndarray)
+        assert values.tolist() == [1, 1, 50, 99, 100]
+        # Scalar calls still return plain floats.
+        assert isinstance(ecdf.quantile(0.5), float)
+        assert ecdf.quantile(0.0) == 1.0
+
+    def test_quantile_array_matches_ceil_formula(self):
+        """The searchsorted implementation reproduces ceil(q*n)-1."""
+        rng = np.random.default_rng(7)
+        samples = rng.normal(size=37)
+        ecdf = ECDF(samples)
+        qs = np.linspace(0.0, 1.0, 211)
+        vectorized = ecdf.quantile(qs)
+        ordered = np.sort(samples)
+        for q, value in zip(qs, vectorized):
+            if q == 0.0:
+                assert value == ordered[0]
+            else:
+                assert value == ordered[int(np.ceil(q * samples.size)) - 1]
+
+    def test_quantile_rejects_bad_array_levels(self):
+        ecdf = ECDF([1, 2, 3])
+        with pytest.raises(ValueError):
+            ecdf.quantile(np.asarray([0.5, 1.5]))
+        with pytest.raises(ValueError):
+            ecdf.quantile(float("nan"))
+
+    def test_survival_accepts_arrays(self):
+        ecdf = ECDF([1, 2, 3, 4, 5])
+        xs = np.asarray([0.0, 2.0, 5.0])
+        values = ecdf.survival(xs)
+        assert isinstance(values, np.ndarray)
+        assert values == pytest.approx([1.0, 0.6, 0.0])
+        assert isinstance(ecdf.survival(3.0), float)
+
 
 class TestLorenzGini:
     def test_equal_distribution_gini_zero(self):

@@ -61,8 +61,10 @@ def _dump_store(tmp_path: Path, hash_seed: str) -> tuple[str, dict[str, str]]:
         [sys.executable, "-c", _STORE_DUMP, str(store_dir)],
         env=env, capture_output=True, text=True, timeout=120, check=True,
     )
+    # Bytes, not text: the spill directory also holds binary .npz
+    # column files, which must be byte-identical across hash seeds.
     files = {
-        path.name: path.read_text(encoding="utf-8")
+        path.name: path.read_bytes()
         for path in sorted(store_dir.iterdir())
     }
     return proc.stdout, files
@@ -78,9 +80,15 @@ def test_segments_and_manifest_identical_across_hash_seeds(tmp_path):
     assert parsed1 == parsed2
     assert files1 == files2
     assert "manifest.json" in files1
+    # Columnar projection rides along: every sealed segment has a .npz
+    # whose sha256 is manifested next to the segment's own hash.
+    assert any(name.endswith(".columns.npz") for name in files1)
     # The snapshot's tail plus on-disk segment counts cover every record.
     manifest = json.loads(files1["manifest.json"])
     assert manifest["total_records"] + len(parsed1["tail"]) == 60
+    assert all(
+        segment.get("columns_sha256") for segment in manifest["segments"]
+    )
 
 
 class TestKillResumeThroughSegmentRefs:
