@@ -1,0 +1,147 @@
+"""The serve API under million-user load, bit-identical across runs.
+
+Builds a synthetic sealed corpus (store-backed segments, columns
+projected), mounts a :class:`~repro.serve.api.ServeApp`, and replays a
+seeded power-law load from 10^6 simulated users.  The run is executed
+twice with the same seed and the two deterministic summaries — request
+counts, latency percentiles, histogram, cache and rate-limit counters —
+must be byte-identical.  Only virtual (simulated) numbers are recorded;
+wall-clock throughput varies by host and is printed to stdout only.
+"""
+
+import time
+
+from benchmarks._report import record, row
+from repro.core.scoring import ScoreStore
+from repro.crawler.records import CrawledComment, CrawledUrl, CrawledUser
+from repro.net.clock import VirtualClock
+from repro.net.transport import LoopbackTransport
+from repro.perspective.models import PerspectiveModels
+from repro.serve import LoadGenerator, ServeApp
+from repro.store import CorpusStore, columns_of
+
+N_USERS = 40_000
+N_URLS = 20_000
+N_COMMENTS = 400_000
+SEGMENT_RECORDS = 65_536
+BASE_EPOCH = 1_550_000_000
+
+SIM_USERS = 1_000_000
+SIM_REQUESTS = 120_000
+LOAD_SEED = 17
+
+
+def _build_store(tmp_path) -> CorpusStore:
+    store = CorpusStore(
+        store_dir=tmp_path / "serve", segment_records=SEGMENT_RECORDS
+    )
+    for n in range(N_USERS):
+        store.add_user(CrawledUser(
+            username=f"user-{n:06d}",
+            author_id=f"{n:08x}beef",
+            display_name=f"User {n}",
+            permissions={"comment": True, "vote": n % 3 != 0, "pro": False},
+            view_filters={"nsfw": n % 5 == 0, "offensive": n % 11 == 0},
+        ))
+    for n in range(N_URLS):
+        store.add_url(CrawledUrl(
+            commenturl_id=f"{n:08x}feed",
+            url=f"https://example-{n % 500:03d}.com/page/{n}",
+            title=f"Page {n}",
+            description="",
+            upvotes=(n * 7) % 93,
+            downvotes=(n * 3) % 41,
+        ))
+    for n in range(N_COMMENTS):
+        store.add_comment(CrawledComment(
+            comment_id=f"{n:09x}cafe",
+            author_id=f"{(n * n) % N_USERS:08x}beef",
+            commenturl_id=f"{(n * 9973) % N_URLS:08x}feed",
+            text=f"comment body {n % 2000}",
+            parent_comment_id=None,
+            created_at_epoch=BASE_EPOCH + n,
+            shadow_label=None,
+        ))
+    return store.seal()
+
+
+def _mount(store: CorpusStore, scores: ScoreStore):
+    clock = VirtualClock()
+    transport = LoopbackTransport(clock=clock, latency=0.05)
+    app = ServeApp(
+        store, clock,
+        score_store=scores,
+        core_members=[f"user-{n:06d}" for n in range(0, 200, 3)],
+    )
+    transport.register(app)
+    return transport, app
+
+
+def _load_run(store: CorpusStore, scores: ScoreStore):
+    transport, app = _mount(store, scores)
+    generator = LoadGenerator(
+        transport, app,
+        n_users=SIM_USERS,
+        n_requests=SIM_REQUESTS,
+        seed=LOAD_SEED,
+        keep_log=False,
+    )
+    return generator.run()
+
+
+def test_serve_under_million_user_load(tmp_path):
+    store = _build_store(tmp_path)
+    assert columns_of(store) is not None
+    scores = ScoreStore(PerspectiveModels())
+    scores.prime(store.texts())
+
+    wall0 = time.perf_counter()
+    first = _load_run(store, scores)
+    wall = time.perf_counter() - wall0
+    second = _load_run(store, scores)
+
+    # Bit-identity across same-seed runs is the headline claim.
+    assert first.summary_text() == second.summary_text()
+    assert first.histogram == second.histogram
+    assert first.cache_stats == second.cache_stats
+    assert first.ratelimit_stats == second.ratelimit_stats
+
+    assert first.requests == SIM_REQUESTS
+    assert first.status_counts.get(200, 0) > 0.9 * SIM_REQUESTS
+    assert first.cache_hit_rate > 0.5   # power-law load must cache well
+
+    lines = [
+        row("simulated users", "10^6", first.users),
+        row("requests served", "-", first.requests),
+        row("requests/sec (virtual)", "-", f"{first.virtual_rps:.3f}"),
+        row("latency p50 (virtual s)", "-", f"{first.p50:.6f}"),
+        row("latency p99 (virtual s)", "-", f"{first.p99:.6f}"),
+        row("cache hit rate", "-", f"{first.cache_hit_rate:.4f}"),
+        row("throttled retries", "-", first.throttled_retries),
+        row(
+            "statuses",
+            "-",
+            " ".join(
+                f"{status}={count}"
+                for status, count in sorted(first.status_counts.items())
+            ),
+        ),
+        row("bit-identical across seeded runs", "yes", "yes"),
+    ]
+    record(
+        "serve_load",
+        "Serve API under million-user seeded load",
+        lines,
+        context={
+            "corpus_comments": N_COMMENTS,
+            "corpus_users": N_USERS,
+            "corpus_urls": N_URLS,
+            "segment_records": SEGMENT_RECORDS,
+            "load_seed": LOAD_SEED,
+            "cache_entries": first.cache_stats["max_entries"],
+            "virtual_seconds": f"{first.virtual_seconds:.6f}",
+        },
+    )
+    # Wall-clock throughput is host-specific: stdout only, never recorded.
+    print(f"wall-clock: {first.requests / wall:.0f} req/s "
+          f"({wall:.1f}s for {first.requests} requests)")

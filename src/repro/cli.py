@@ -174,6 +174,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output directory for the SVG files")
     figures.add_argument("--workers", type=int, default=0,
                          help="scoring-pass worker threads (0 = serial)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="mount the read API over a crawled corpus and issue requests",
+    )
+    serve.add_argument("--scale", type=float, default=0.002)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--store-dir", type=Path, default=None,
+                       help="spill directory for sealed corpus segments")
+    serve.add_argument("path", nargs="*",
+                       help="API paths to request (default: /api/status)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="seeded deterministic load run against the serve API",
+    )
+    loadgen.add_argument("--scale", type=float, default=0.002)
+    loadgen.add_argument("--seed", type=int, default=42)
+    loadgen.add_argument("--store-dir", type=Path, default=None,
+                         help="spill directory for sealed corpus segments")
+    loadgen.add_argument("--users", type=int, default=500,
+                         help="simulated client population")
+    loadgen.add_argument("--requests", type=int, default=2000,
+                         help="total requests to issue")
+    loadgen.add_argument("--load-seed", type=int, default=0,
+                         help="load-schedule RNG seed (independent of the "
+                              "world seed)")
+    loadgen.add_argument("--mean-gap", type=float, default=0.01,
+                         help="mean virtual think time between requests")
+    loadgen.add_argument("--out", type=Path, default=None,
+                         help="also write the summary to this file")
     return parser
 
 
@@ -283,6 +314,59 @@ def _cmd_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_stack(args: argparse.Namespace):
+    from repro.serve import build_serve_stack
+
+    return build_serve_stack(
+        scale=args.scale,
+        seed=args.seed,
+        store_dir=str(args.store_dir) if args.store_dir is not None else None,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.http import Request
+
+    stack = _build_stack(args)
+    print(f"serving {stack.corpus.summary()} at https://{stack.app.host} "
+          f"(manifest {stack.app.manifest_hash[:12]})", file=sys.stderr)
+    paths = args.path or ["/api/status"]
+    worst = 0
+    for path in paths:
+        request = Request(
+            method="GET", url=f"https://{stack.app.host}{path}"
+        )
+        request.headers.set("X-Client-Id", "cli")
+        response = stack.transport.send(request)
+        worst = max(worst, 0 if response.status == 200 else 1)
+        print(f"{response.status} {path}", file=sys.stderr)
+        print(response.body.decode("utf-8"))
+    return worst
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import LoadGenerator
+
+    stack = _build_stack(args)
+    print(f"loadgen over {stack.corpus.summary()} "
+          f"(manifest {stack.app.manifest_hash[:12]})", file=sys.stderr)
+    generator = LoadGenerator(
+        stack.transport,
+        stack.app,
+        n_users=args.users,
+        n_requests=args.requests,
+        seed=args.load_seed,
+        mean_gap=args.mean_gap,
+    )
+    report = generator.run()
+    text = report.summary_text()
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"summary written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.viz.figures import render_all_figures
 
@@ -309,6 +393,8 @@ def main(argv: list[str] | None = None) -> int:
         "crawl": _cmd_crawl,
         "score": _cmd_score,
         "figures": _cmd_figures,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,7 @@ the NSFW/offensive shadow crawl.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -22,6 +23,24 @@ from repro.net.transport import Transport
 __all__ = ["ClientStats", "HttpClient"]
 
 _RETRYABLE_STATUSES = frozenset({429, 500, 502, 503})
+
+
+def _parse_delay_seconds(value: str) -> float | None:
+    """A server-advertised delay as finite, non-negative seconds.
+
+    ``float()`` alone is not a safe parse here: it *raises* on the
+    HTTP-date form of ``Retry-After``, and it *accepts* ``"inf"`` and
+    ``"nan"`` — an infinite sleep would wedge the virtual clock forever.
+    Anything unusable degrades to ``None`` so the caller falls back to
+    its exponential backoff.
+    """
+    try:
+        parsed = float(value)
+    except ValueError:
+        return None
+    if not math.isfinite(parsed) or parsed < 0:
+        return None
+    return parsed
 
 
 @dataclass
@@ -143,16 +162,14 @@ class HttpClient:
             return backoff
         retry_after = response.headers.get("Retry-After")
         if retry_after is not None:
-            try:
-                return max(backoff, float(retry_after))
-            except ValueError:
-                pass
+            delay = _parse_delay_seconds(retry_after)
+            if delay is not None:
+                return max(backoff, delay)
         reset_at = response.headers.get("X-RateLimit-Reset")
         if reset_at is not None:
-            try:
-                return max(backoff, float(reset_at) - self.clock.now())
-            except ValueError:
-                pass
+            timestamp = _parse_delay_seconds(reset_at)
+            if timestamp is not None:
+                return max(backoff, timestamp - self.clock.now())
         return backoff
 
     def _send_with_retries(self, request: Request) -> Response:

@@ -12,6 +12,7 @@ wait for the refresh before continuing — implemented here as
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 
 from repro.net.clock import Clock
@@ -56,12 +57,34 @@ class TokenBucket:
         return False
 
     def wait_time(self, tokens: float = 1.0) -> float:
-        """Seconds until ``tokens`` would be available (0 if now)."""
+        """Seconds until ``tokens`` would be available (0 if now).
+
+        The advertised wait is *sufficient*: a caller that sleeps exactly
+        this long is guaranteed the next ``try_acquire(tokens)`` succeeds.
+        ``deficit / rate`` alone can round one ulp short of the deficit
+        when multiplied back by the rate — a server handing the quotient
+        to a 429 ``Retry-After`` would then bounce the well-behaved
+        client that honoured it, so the wait is extended ulp-by-ulp
+        until the refill it promises actually covers the deficit.
+        """
         self._refill()
         deficit = tokens - self._tokens
         if deficit <= 0:
             return 0.0
-        return deficit / self._rate
+        now = self._updated   # _refill just synced this to clock.now()
+        wait = deficit / self._rate
+        # Replay the refill a sleeper will actually perform: it runs at
+        # absolute time ``now + wait``, whose float granularity (ulps of
+        # a ~1e9 epoch timestamp) dwarfs ulps of ``wait`` itself.  Step
+        # the *arrival* timestamp up until the replayed refill covers
+        # the deficit; each step is one representable clock instant, so
+        # this converges in a couple of iterations.
+        while True:
+            arrival = now + wait
+            elapsed = arrival - now
+            if self._tokens + elapsed * self._rate >= tokens:
+                return wait
+            wait = math.nextafter(arrival, math.inf) - now
 
     def acquire(self, tokens: float = 1.0) -> float:
         """Block (on the clock) until tokens are available.
@@ -103,6 +126,12 @@ class KeyedRateLimiter:
 
     DEFAULT_MAX_KEYS = 4096
 
+    #: Hits between eviction sweeps while the table is oversized.  The
+    #: sweep scans every bucket (O(n)), so running it on a counter keeps
+    #: the amortized per-hit cost constant; the counter (not the clock,
+    #: not hash order) decides when, so sweep points are deterministic.
+    HIT_SWEEP_INTERVAL = 64
+
     def __init__(
         self,
         rate: float,
@@ -117,6 +146,7 @@ class KeyedRateLimiter:
         self._clock = clock
         self._max_keys = max_keys
         self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._hits_since_sweep = 0
         self.created = 0
         self.evictions = 0
 
@@ -147,6 +177,15 @@ class KeyedRateLimiter:
             self._evict(protect=key)
         else:
             self._buckets.move_to_end(key)
+            # A table pushed past max_keys by simultaneously-indebted
+            # keys must shrink back once they refill, even when no new
+            # key ever arrives (a server limiting a fixed URL set) —
+            # sweep on hits too, amortized over HIT_SWEEP_INTERVAL.
+            if len(self._buckets) > self._max_keys:
+                self._hits_since_sweep += 1
+                if self._hits_since_sweep >= self.HIT_SWEEP_INTERVAL:
+                    self._hits_since_sweep = 0
+                    self._evict(protect=key)
         return existing
 
     def try_acquire(self, key: str) -> bool:
@@ -185,10 +224,21 @@ class HeaderRateLimiter:
         if self._remaining is not None and self._remaining <= 0:
             if self._reset_at is not None and self._reset_at > now:
                 wait = self._reset_at - now
+            else:
+                # Remaining hit zero with no usable reset: either the
+                # server sent none, or the recorded one has already
+                # passed (a later response reported exhaustion without
+                # refreshing it).  Waiting zero here would hammer the
+                # server; back off by the floor interval instead.
+                wait = self._floor
+            if wait > 0:
                 self._clock.sleep(wait)
                 waited += wait
-            # The window refreshed; forget the stale counter.
+            # The window refreshed (or its reset was stale); forget
+            # both halves so a past timestamp can never be compared
+            # against a *future* exhaustion.
             self._remaining = None
+            self._reset_at = None
         now = self._clock.now()
         if self._last_request is not None:
             since = now - self._last_request

@@ -1,0 +1,24 @@
+"""repro.serve — the deterministic read API over a sealed corpus.
+
+Serves the Dissenter read surface (threads, user pages, toxicity
+summaries, hateful-core membership) from a sealed
+:class:`~repro.store.CorpusStore` as an origin app on the simulated
+network, with an LRU render cache and per-client rate limiting, plus a
+seeded load generator for million-user benchmarks.
+"""
+
+from repro.serve.api import ServeApp, corpus_manifest_hash
+from repro.serve.bootstrap import ServeStack, build_serve_stack, core_usernames
+from repro.serve.cache import RenderCache
+from repro.serve.load import LoadGenerator, LoadReport
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "RenderCache",
+    "ServeApp",
+    "ServeStack",
+    "build_serve_stack",
+    "core_usernames",
+    "corpus_manifest_hash",
+]

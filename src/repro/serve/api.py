@@ -1,0 +1,445 @@
+"""The Dissenter read API over a sealed corpus.
+
+:class:`ServeApp` flips the repo's direction of travel: instead of
+*crawling* the simulated platform, it serves the crawled corpus back out
+as a live read API — comment thread by URL, user page, per-URL and
+per-user toxicity summaries, hateful-core membership — mounted as an
+:class:`~repro.net.router.App` on the existing loopback transport so
+every request runs on the virtual clock.
+
+Three properties matter:
+
+* **Determinism.**  Handlers are pure functions of the sealed corpus and
+  the request; virtual render costs are charged per response byte, so a
+  seeded load run reproduces latency distributions bit-identically.
+* **Caching.**  Rendered responses live in an app-owned LRU
+  (:class:`~repro.serve.cache.RenderCache`) keyed on (method, path,
+  params, corpus manifest hash).  A sealed corpus never changes, so
+  entries never go stale; the manifest-hash component invalidates the
+  key space wholesale if an app is ever rebuilt over a different corpus.
+* **Rate limiting.**  A per-client :class:`~repro.net.ratelimit.
+  KeyedRateLimiter` answers over-budget requests with 429 and a
+  ``Retry-After`` whose value is *sufficient* (the ulp-safe
+  ``wait_time`` guarantee) and serialized with ``repr`` so it round-
+  trips through the header exactly.
+
+Toxicity summaries dispatch through :func:`~repro.store.columns.
+columns_of`: on a sealed columnar store the scores column is sliced via
+the memoised URL/author group indexes; legacy or ``--no-columns``
+corpora fall back to the record-dict path.  Both paths produce the same
+float64 sequence in the same order, so the JSON bodies are byte-
+identical — the same oracle contract the §4 analyses follow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+import numpy as np
+
+from repro.net.clock import Clock
+from repro.net.http import Request, Response
+from repro.net.ratelimit import KeyedRateLimiter
+from repro.net.router import App
+from repro.serve.cache import RenderCache
+from repro.store import Corpus
+from repro.store.columns import columns_of
+
+__all__ = ["ServeApp", "corpus_manifest_hash"]
+
+#: Default Perspective attribute for the summary endpoints (§4.5.1's
+#: hateful-core criterion scores SEVERE_TOXICITY medians).
+DEFAULT_ATTRIBUTE = "SEVERE_TOXICITY"
+
+
+def corpus_manifest_hash(corpus: Corpus) -> str:
+    """A stable identity hash for a corpus's contents.
+
+    Segmented stores hash their snapshot payload — sealed segment
+    references (name, count, sha256, columns hash) plus the unsealed
+    tail — with the host-specific spill directory excluded, so the same
+    corpus hashes identically wherever its segments live.  Legacy
+    ``CrawlResult`` corpora hash a cheap structural fingerprint.
+    """
+    snapshot = getattr(corpus, "snapshot", None)
+    if snapshot is not None:
+        payload = dict(snapshot())
+        payload.pop("dir", None)   # host path, not corpus identity
+    else:
+        payload = {
+            "kind": "legacy",
+            "users": len(corpus.users),
+            "urls": len(corpus.urls),
+            "comments": len(corpus.comments),
+            "first_comment": next(iter(corpus.comments), ""),
+            "last_comment": (
+                next(reversed(corpus.comments)) if corpus.comments else ""
+            ),
+        }
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def _score_summary(scores: np.ndarray) -> dict:
+    """Count/mean/median/p90/max of one score column slice.
+
+    Quantiles use the ECDF convention (sorted array indexed at
+    ``ceil(q * n) - 1``) so the columnar and dict paths agree exactly.
+    """
+    n = int(scores.size)
+    if n == 0:
+        return {"count": 0, "mean": None, "median": None, "p90": None,
+                "max": None}
+    ordered = np.sort(scores, kind="stable")
+
+    def quantile(q: float) -> float:
+        return float(ordered[max(0, math.ceil(q * n) - 1)])
+
+    return {
+        "count": n,
+        "mean": float(scores.mean()),
+        "median": quantile(0.5),
+        "p90": quantile(0.9),
+        "max": float(ordered[-1]),
+    }
+
+
+class ServeApp(App):
+    """Read-only Dissenter API over a sealed corpus.
+
+    Args:
+        corpus: the sealed corpus to serve (never mutated).
+        clock: the serving stack's virtual clock (shared with the
+            transport; render costs advance it).
+        score_store: shared score store for the toxicity summary
+            endpoints; ``None`` makes them answer 503.
+        core_members: usernames in the §4.5.1 hateful core.
+        cache_entries: LRU render-cache capacity.
+        rate: per-client token-bucket refill rate (requests/second).
+        capacity: per-client burst allowance.
+        max_clients: rate-limiter table bound (LRU-evicted above this).
+    """
+
+    HOST = "serve.dissenter.local"
+
+    #: Virtual seconds charged per rendered response: a base dispatch
+    #: cost plus a per-KiB serialization cost, so heavy threads are
+    #: slower than tiny user pages and the latency distribution under
+    #: load has real shape.  Cache hits skip rendering and pay only the
+    #: (much smaller) lookup cost.
+    RENDER_COST_BASE = 0.02
+    RENDER_COST_PER_KB = 0.01
+    CACHE_HIT_COST = 0.002
+
+    #: Per-thread / per-page caps so no response is unbounded.
+    THREAD_PAGE_SIZE = 100
+    USER_URLS_LIMIT = 50
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        clock: Clock,
+        score_store=None,
+        core_members: tuple[str, ...] | list[str] = (),
+        cache_entries: int = 4096,
+        rate: float = 5.0,
+        capacity: float = 20.0,
+        max_clients: int = KeyedRateLimiter.DEFAULT_MAX_KEYS,
+    ) -> None:
+        super().__init__(self.HOST, deterministic_render=False)
+        if not getattr(corpus, "sealed", True):
+            raise ValueError("ServeApp requires a sealed corpus")
+        self._corpus = corpus
+        self._clock = clock
+        self._scores = score_store
+        self._core_sorted = sorted(set(core_members))
+        self._core = frozenset(self._core_sorted)
+        self._manifest_hash = corpus_manifest_hash(corpus)
+        self._cache = RenderCache(cache_entries)
+        self._limiter = KeyedRateLimiter(
+            rate=rate, capacity=capacity, clock=clock, max_keys=max_clients
+        )
+        self._url_index: dict[str, str] | None = None
+        self.throttled = 0
+        self.use(self._rate_limit)
+        self.get("/api/status")(self._status)
+        self.get("/api/thread/{commenturl_id}")(self._thread)
+        self.get("/api/url")(self._url_lookup)
+        self.get("/api/user/{username}")(self._user_page)
+        self.get("/api/summary/url/{commenturl_id}")(self._summary_url)
+        self.get("/api/summary/user/{username}")(self._summary_user)
+        self.get("/api/core")(self._core_listing)
+        self.get("/api/core/{username}")(self._core_membership)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def manifest_hash(self) -> str:
+        return self._manifest_hash
+
+    @property
+    def cache(self) -> RenderCache:
+        return self._cache
+
+    @property
+    def limiter(self) -> KeyedRateLimiter:
+        return self._limiter
+
+    # ------------------------------------------------------------------
+    # Rate limiting (middleware: always runs, never cached).
+    # ------------------------------------------------------------------
+
+    def _client_key(self, request: Request) -> str:
+        return request.headers.get("X-Client-Id") or "anonymous"
+
+    def _rate_limit(self, request: Request) -> Response | None:
+        key = self._client_key(request)
+        if self._limiter.try_acquire(key):
+            return None
+        self.throttled += 1
+        retry = self._limiter.wait_time(key)
+        response = Response(status=429, body=b"rate limited")
+        # repr round-trips the float exactly, so a client that sleeps
+        # float(header) gets the full ulp-safe wait_time guarantee.
+        response.headers.set("Retry-After", repr(retry))
+        return response
+
+    # ------------------------------------------------------------------
+    # Render caching (the routing half of dispatch).
+    # ------------------------------------------------------------------
+
+    def render(self, request: Request) -> Response:
+        if request.path == "/api/status":
+            # Live counters: caching would freeze them.
+            return super().render(request)
+        key = (
+            request.method,
+            request.path,
+            tuple(sorted(request.query.items())),
+            self._manifest_hash,
+        )
+        master = self._cache.get(key)
+        if master is not None:
+            self._clock.advance(self.CACHE_HIT_COST)
+            return self._shell(master, "HIT", request)
+        master = super().render(request)
+        self._clock.advance(
+            self.RENDER_COST_BASE
+            + self.RENDER_COST_PER_KB * len(master.body) / 1024.0
+        )
+        self._cache.put(key, master)
+        return self._shell(master, "MISS", request)
+
+    def _shell(
+        self, master: Response, disposition: str, request: Request
+    ) -> Response:
+        """A per-request response around the shared cached body.
+
+        The transport mutates ``.elapsed``/``.url`` on what it returns,
+        so cache entries must never be handed out directly.
+        """
+        headers = master.headers.copy()
+        headers.set("X-Cache", disposition)
+        return Response(
+            status=master.status,
+            headers=headers,
+            body=master.body,
+            url=request.url,
+        )
+
+    # ------------------------------------------------------------------
+    # Handlers.
+    # ------------------------------------------------------------------
+
+    def _status(self, request: Request, params: dict[str, str]) -> Response:
+        corpus = self._corpus
+        payload = {
+            "manifest_hash": self._manifest_hash,
+            "corpus": {
+                "users": len(corpus.users),
+                "urls": len(corpus.urls),
+                "comments": len(corpus.comments),
+            },
+            "columns": columns_of(corpus) is not None,
+            "scores": self._scores is not None,
+            "core_size": len(self._core),
+            "cache": self._cache.stats(),
+            "ratelimit": {
+                "clients": len(self._limiter),
+                "created": self._limiter.created,
+                "evictions": self._limiter.evictions,
+                "throttled": self.throttled,
+            },
+        }
+        return Response.json_response(payload)
+
+    def _thread(self, request: Request, params: dict[str, str]) -> Response:
+        cid = params["commenturl_id"]
+        url = self._corpus.urls.get(cid)
+        if url is None:
+            return Response.json_response({"error": "unknown url id"}, 404)
+        comments = self._corpus.comments_by_url().get(cid, [])
+        page = [
+            {
+                "comment_id": c.comment_id,
+                "author_id": c.author_id,
+                "text": c.text,
+                "created_at": c.created_at_epoch,
+                "reply": bool(c.parent_comment_id),
+            }
+            for c in comments[: self.THREAD_PAGE_SIZE]
+        ]
+        payload = {
+            "commenturl_id": cid,
+            "url": url.url,
+            "title": url.title,
+            "upvotes": url.upvotes,
+            "downvotes": url.downvotes,
+            "total_comments": len(comments),
+            "comments": page,
+        }
+        return Response.json_response(payload)
+
+    def _url_lookup(self, request: Request, params: dict[str, str]) -> Response:
+        target = request.query.get("url")
+        if not target:
+            return Response.json_response(
+                {"error": "missing url parameter"}, 400
+            )
+        if self._url_index is None:
+            # First-insertion order: later re-appends of the same URL
+            # string keep the original id, like every other store index.
+            index: dict[str, str] = {}
+            for record in self._corpus.urls.values():
+                index.setdefault(record.url, record.commenturl_id)
+            self._url_index = index
+        cid = self._url_index.get(target)
+        if cid is None:
+            return Response.json_response({"error": "unknown url"}, 404)
+        return Response.json_response(
+            {"url": target, "commenturl_id": cid}
+        )
+
+    def _user_page(self, request: Request, params: dict[str, str]) -> Response:
+        username = params["username"]
+        user = self._corpus.users.get(username)
+        if user is None:
+            return Response.json_response({"error": "unknown user"}, 404)
+        comments = self._corpus.comments_by_author().get(user.author_id, [])
+        commented: list[str] = []
+        seen: set[str] = set()
+        for comment in comments:
+            if comment.commenturl_id not in seen:
+                seen.add(comment.commenturl_id)
+                commented.append(comment.commenturl_id)
+                if len(commented) >= self.USER_URLS_LIMIT:
+                    break
+        payload = {
+            "username": user.username,
+            "display_name": user.display_name,
+            "author_id": user.author_id,
+            "comment_count": len(comments),
+            "commented_urls": commented,
+            "first_comment_at": (
+                min(c.created_at_epoch for c in comments) if comments else None
+            ),
+            "last_comment_at": (
+                max(c.created_at_epoch for c in comments) if comments else None
+            ),
+        }
+        return Response.json_response(payload)
+
+    # -- toxicity summaries --------------------------------------------
+
+    def _summary_unavailable(self) -> Response:
+        return Response.json_response(
+            {"error": "no score store attached"}, 503
+        )
+
+    def _summary_url(self, request: Request, params: dict[str, str]) -> Response:
+        if self._scores is None:
+            return self._summary_unavailable()
+        cid = params["commenturl_id"]
+        if cid not in self._corpus.urls:
+            return Response.json_response({"error": "unknown url id"}, 404)
+        attribute = request.query.get("attribute", DEFAULT_ATTRIBUTE)
+        view = columns_of(self._corpus)
+        try:
+            if view is not None:
+                ordinal = view.tables.url_ids.lookup(cid)
+                if ordinal is None:
+                    scores = np.asarray([], dtype=float)
+                else:
+                    order, offsets = view.url_comment_order()
+                    rows = order[offsets[ordinal]:offsets[ordinal + 1]]
+                    scores = view.attribute_scores(self._scores, attribute)[rows]
+            else:
+                comments = self._corpus.comments_by_url().get(cid, [])
+                scores = self._scores.attribute_values(
+                    [c.text for c in comments], attribute
+                )
+        except KeyError:
+            return Response.json_response(
+                {"error": f"unknown attribute {attribute!r}"}, 400
+            )
+        payload = {
+            "commenturl_id": cid,
+            "attribute": attribute,
+            **_score_summary(scores),
+        }
+        return Response.json_response(payload)
+
+    def _summary_user(self, request: Request, params: dict[str, str]) -> Response:
+        if self._scores is None:
+            return self._summary_unavailable()
+        username = params["username"]
+        user = self._corpus.users.get(username)
+        if user is None:
+            return Response.json_response({"error": "unknown user"}, 404)
+        attribute = request.query.get("attribute", DEFAULT_ATTRIBUTE)
+        view = columns_of(self._corpus)
+        try:
+            if view is not None:
+                ordinal = view.tables.authors.lookup(user.author_id)
+                if ordinal is None:
+                    scores = np.asarray([], dtype=float)
+                else:
+                    order, offsets = view.author_comment_order()
+                    rows = order[offsets[ordinal]:offsets[ordinal + 1]]
+                    scores = view.attribute_scores(self._scores, attribute)[rows]
+            else:
+                comments = self._corpus.comments_by_author().get(
+                    user.author_id, []
+                )
+                scores = self._scores.attribute_values(
+                    [c.text for c in comments], attribute
+                )
+        except KeyError:
+            return Response.json_response(
+                {"error": f"unknown attribute {attribute!r}"}, 400
+            )
+        payload = {
+            "username": username,
+            "attribute": attribute,
+            **_score_summary(scores),
+        }
+        return Response.json_response(payload)
+
+    # -- hateful core ---------------------------------------------------
+
+    def _core_listing(self, request: Request, params: dict[str, str]) -> Response:
+        return Response.json_response(
+            {"size": len(self._core_sorted), "members": self._core_sorted}
+        )
+
+    def _core_membership(
+        self, request: Request, params: dict[str, str]
+    ) -> Response:
+        username = params["username"]
+        return Response.json_response(
+            {"username": username, "member": username in self._core}
+        )

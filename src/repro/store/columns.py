@@ -136,6 +136,15 @@ class StringTable:
             self.values.append(value)
         return ordinal
 
+    def lookup(self, value: str) -> int | None:
+        """The ordinal of ``value``, or None — never interns.
+
+        The read-only counterpart of :meth:`intern` for serving-side
+        lookups: resolving a request's identifier must not grow the
+        table (ordinals are a pure function of the corpus log).
+        """
+        return self._index.get(value)
+
 
 def _empty_buffers() -> dict[str, list]:
     return {key: [] for key in _RECORD_DTYPES}
@@ -694,6 +703,25 @@ class ColumnView:
             )
             memo = (order, offsets)
             self._memo["url_groups"] = memo
+        return memo
+
+    def author_comment_order(self) -> tuple[np.ndarray, np.ndarray]:
+        """(stable comment order grouped by author ordinal, group offsets).
+
+        ``order[offsets[a]:offsets[a + 1]]`` indexes this view's
+        deduplicated comments for author ordinal ``a``, preserving
+        corpus order within the group — the author-side mirror of
+        :meth:`url_comment_order`.
+        """
+        memo = self._memo.get("author_groups")
+        if memo is None:
+            order = np.argsort(self.comments.author, kind="stable")
+            counts = self.comments_per_author()
+            offsets = np.concatenate(
+                [[0], np.cumsum(counts, dtype=np.int64)]
+            )
+            memo = (order, offsets)
+            self._memo["author_groups"] = memo
         return memo
 
     # -- score columns -------------------------------------------------

@@ -288,3 +288,40 @@ class TestRetryAfterHonoured:
         start = clock.now()
         assert client.get("https://window.example/limited").status == 200
         assert clock.now() - start >= 299.0
+
+
+class TestRetryAfterDegradesToBackoff:
+    """Unusable ``Retry-After`` values — the HTTP-date form, ``inf``
+    (which would wedge the virtual clock forever), negatives — must
+    degrade to exponential backoff, never raise or sleep unboundedly."""
+
+    def _throttling_app(self, host: str, retry_after: str) -> tuple:
+        app = App(host)
+        state = {"calls": 0}
+
+        @app.get("/limited")
+        def limited(request, params):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                response = Response(status=429)
+                response.headers.set("Retry-After", retry_after)
+                return response
+            return Response.html("<p>ok</p>")
+
+        return app, state
+
+    @pytest.mark.parametrize(
+        "retry_after",
+        ["Fri, 31 Dec 1999 23:59:59 GMT", "inf", "nan", "-5", "1e400"],
+    )
+    def test_degrades_to_backoff(self, retry_after):
+        clock = VirtualClock()
+        app, _ = self._throttling_app("degrade.example", retry_after)
+        transport = LoopbackTransport(clock=clock, latency=0.0)
+        transport.register(app)
+        client = HttpClient(transport, max_retries=2, backoff=0.1)
+        start = clock.now()
+        response = client.get("https://degrade.example/limited")
+        assert response.status == 200
+        waited = clock.now() - start
+        assert waited == pytest.approx(0.1)

@@ -1,0 +1,67 @@
+"""RenderCache unit tests: LRU order, bounds, counters."""
+
+import pytest
+
+from repro.net.http import Response
+from repro.serve.cache import RenderCache
+
+
+def _response(n: int) -> Response:
+    return Response(status=200, body=f"body-{n}".encode())
+
+
+class TestRenderCache:
+    def test_miss_then_hit(self):
+        cache = RenderCache(max_entries=4)
+        assert cache.get(("a",)) is None
+        cache.put(("a",), _response(1))
+        cached = cache.get(("a",))
+        assert cached is not None
+        assert cached.body == b"body-1"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.evictions == 0
+
+    def test_lru_eviction_order(self):
+        cache = RenderCache(max_entries=2)
+        cache.put(("a",), _response(1))
+        cache.put(("b",), _response(2))
+        assert cache.get(("a",)) is not None   # refresh a; b is now LRU
+        cache.put(("c",), _response(3))
+        assert cache.evictions == 1
+        assert cache.get(("b",)) is None       # evicted
+        assert cache.get(("a",)) is not None   # survived
+        assert cache.get(("c",)) is not None
+
+    def test_len_tracks_entries(self):
+        cache = RenderCache(max_entries=3)
+        assert len(cache) == 0
+        for n in range(5):
+            cache.put((n,), _response(n))
+        assert len(cache) == 3
+        assert cache.evictions == 2
+
+    def test_put_same_key_replaces_without_eviction(self):
+        cache = RenderCache(max_entries=2)
+        cache.put(("a",), _response(1))
+        cache.put(("a",), _response(2))
+        assert len(cache) == 1
+        assert cache.evictions == 0
+        assert cache.get(("a",)).body == b"body-2"
+
+    def test_stats_payload(self):
+        cache = RenderCache(max_entries=2)
+        cache.put(("a",), _response(1))
+        cache.get(("a",))
+        cache.get(("b",))
+        assert cache.stats() == {
+            "entries": 1,
+            "max_entries": 2,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            RenderCache(max_entries=0)
