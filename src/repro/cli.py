@@ -152,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint file to write")
     crawl.add_argument("--with-faults", action="store_true",
                        help="inject transport faults (exercises retries)")
+    crawl.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the corpus stages sharded over N worker processes "
+             "(linux fork); the parent merges per-shard logs so the "
+             "corpus, segments and manifest are byte-identical to the "
+             "unsharded run at any N (composes with --connections, "
+             "--resume and --die-after; rejects --with-faults; skips "
+             "the non-corpus YouTube/social/validation stages)")
     _add_crawl_engine_flags(crawl)
     _add_resume_flags(crawl)
 
@@ -260,7 +268,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_crawl_sharded(args: argparse.Namespace) -> int:
+    """The --shards N path: multi-process corpus crawl + deterministic merge."""
+    from repro.crawler.shard import ShardEngine
+    from repro.platform.world import build_world
+
+    if args.with_faults:
+        raise SystemExit(
+            "--shards does not compose with --with-faults: fault injection "
+            "is seeded by global request order, which sharding re-partitions"
+        )
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    world = build_world(_config(args))
+    print(f"world: {world.summary()}", file=sys.stderr)
+    state_path = args.state or Path(str(args.out) + ".state.json")
+    engine = ShardEngine(
+        world,
+        args.shards,
+        args.out,
+        connections=args.connections,
+        parse_workers=args.parse_workers,
+        store_dir=str(args.store_dir) if args.store_dir is not None else None,
+        segment_records=args.segment_records,
+        columns=not args.no_columns,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_seconds=args.checkpoint_seconds,
+        die_after=args.die_after,
+        state_path=state_path,
+    )
+    resume_payload = None
+    if args.resume:
+        if not state_path.exists():
+            raise SystemExit(f"--resume: no checkpoint state at {state_path}")
+        resume_payload = load_state(state_path)
+    try:
+        corpus = engine.run(resume=resume_payload)
+    except CrawlKilled as killed:
+        print(f"sharded crawl killed after {killed.requests_served} requests; "
+              f"resume with --resume --state {state_path}", file=sys.stderr)
+        return EXIT_KILLED
+    except ValueError as exc:
+        raise SystemExit(f"--shards: {exc}") from exc
+    corpus.seal()
+    dump_result(corpus, args.out)
+    engine.cleanup()
+    print(f"crawled {corpus.summary()} "
+          f"({engine.requests} HTTP requests over {args.shards} shard(s))")
+    print(f"simulated crawl duration: {engine.simulated_seconds:.1f}s "
+          f"over {args.shards} shard(s) x {args.connections} connection(s)")
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
 def _cmd_crawl(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        return _cmd_crawl_sharded(args)
     pipeline = ReproductionPipeline(
         _config(args),
         with_faults=args.with_faults,

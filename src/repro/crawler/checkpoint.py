@@ -38,12 +38,15 @@ from repro.crawler.records import (
 
 __all__ = [
     "CrawlCheckpoint",
+    "SHARD_ENVELOPE_VERSION",
     "atomic_write_json",
     "atomic_write_text",
     "coerce_checkpoint",
+    "coerce_shard_envelope",
     "dump_checkpoint",
     "dump_result",
     "dumps_result",
+    "is_shard_envelope",
     "load_checkpoint",
     "load_result",
     "loads_result",
@@ -56,6 +59,14 @@ _RUNTIME_FORMAT_VERSION = 3
 #: runtime checkpoint versions ``from_payload`` accepts (v2 documents
 #: written before the segmented store still resume).
 _COMPAT_RUNTIME_VERSIONS = (2, 3)
+
+#: Checkpoint format v4: the *sharded* crawl's parent envelope.  It is a
+#: coordinator-level document — per-worker state still travels as the
+#: v3 :class:`CrawlCheckpoint` payloads this module already defines,
+#: wrapped one level down in each worker's own state file — so v4 does
+#: not supersede v3; it composes it with the frontier partition spec and
+#: the merged store snapshot at the last completed phase boundary.
+SHARD_ENVELOPE_VERSION = 4
 
 
 def result_to_payload(result: CrawlResult) -> dict:
@@ -324,6 +335,44 @@ def coerce_checkpoint(resume: "CrawlCheckpoint | dict", crawler: str) -> "CrawlC
             f"cannot resume {crawler!r}"
         )
     return checkpoint
+
+
+def is_shard_envelope(payload: dict) -> bool:
+    """Whether a state-file payload is a sharded (v4) parent envelope.
+
+    The CLI dispatches on this: ``--resume`` over a v4 envelope goes to
+    the sharded engine, anything else to the single-process pipeline.
+    """
+    return (
+        isinstance(payload, dict)
+        and payload.get("kind") == "sharded"
+        and payload.get("version") == SHARD_ENVELOPE_VERSION
+    )
+
+
+def coerce_shard_envelope(payload: dict, shards: int) -> dict:
+    """Validate a v4 sharded envelope against the requested worker count.
+
+    Raises:
+        ValueError: not a v4 envelope, or it was written by a run with a
+            different ``--shards`` value (the frontier partition is a
+            function of the worker count, so resuming under a different
+            count would re-partition mid-crawl and corrupt the merge
+            order).
+    """
+    if not isinstance(payload, dict) or payload.get("kind") != "sharded":
+        raise ValueError("not a sharded checkpoint envelope")
+    if payload.get("version") != SHARD_ENVELOPE_VERSION:
+        raise ValueError(
+            f"unsupported sharded envelope version {payload.get('version')!r}"
+        )
+    saved = int(payload.get("shards", 0))
+    if saved != shards:
+        raise ValueError(
+            f"envelope was written by a --shards {saved} run; "
+            f"cannot resume it with --shards {shards}"
+        )
+    return payload
 
 
 def dump_checkpoint(checkpoint: CrawlCheckpoint, path: str | Path) -> None:

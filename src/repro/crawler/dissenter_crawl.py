@@ -85,6 +85,27 @@ class CrawlStats:
         with self._lock:
             self.comment_pages_failed = list(commenturl_ids)
 
+    def merge(self, other: "CrawlStats") -> None:
+        """Fold another stats object into this one (sharded-crawl merge).
+
+        Commutative and associative: integer counters sum, and the
+        failed-pages list — whose *sharded* arrival order depends on
+        which worker finished first — is re-sorted so an N-way merge
+        yields the same value whatever the fold order.  (The sharded
+        engine separately restores the sequential failure order from
+        per-shard global indexes before the recrawl loop runs; the
+        sorted list here is the order-independent set view.)
+        """
+        with self._lock:
+            self.usernames_probed += other.usernames_probed
+            self.accounts_detected += other.accounts_detected
+            self.home_pages_parsed += other.home_pages_parsed
+            self.comment_pages_parsed += other.comment_pages_parsed
+            self.author_pages_visited += other.author_pages_visited
+            self.comment_pages_failed = sorted(
+                self.comment_pages_failed + other.comment_pages_failed
+            )
+
     def to_dict(self) -> dict:
         return {
             "usernames_probed": self.usernames_probed,

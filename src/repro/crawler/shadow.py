@@ -32,14 +32,16 @@ from repro.platform.apps.dissenter_app import DissenterApp
 if TYPE_CHECKING:   # runtime import would cycle through the crawler package
     from repro.store.corpus import CorpusStore
 
-__all__ = ["ShadowCrawler", "ShadowCrawlReport"]
+__all__ = ["SHADOW_PASSES", "ShadowCrawler", "ShadowCrawlReport"]
 
 # The two authenticated passes, in execution order: which view filter the
 # session enables, and the label applied to comments absent from baseline.
-_PASSES: tuple[tuple[str, dict], ...] = (
+# Public because the sharded engine runs the same protocol per shard.
+SHADOW_PASSES: tuple[tuple[str, dict], ...] = (
     ("nsfw", {"nsfw": True, "offensive": False}),
     ("offensive", {"nsfw": False, "offensive": True}),
 )
+_PASSES = SHADOW_PASSES
 
 
 @dataclass

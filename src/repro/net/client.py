@@ -76,6 +76,62 @@ class ClientStats:
                 self.status_counts.get(response.status, 0) + 1
             )
 
+    def merge(self, other: "ClientStats") -> None:
+        """Fold another stats object into this one (sharded-crawl merge).
+
+        Commutative and associative: counters sum, and ``status_counts``
+        is rebuilt with numerically sorted keys — insertion order would
+        otherwise depend on which worker's stats merged first, and a
+        serialized envelope would differ byte-for-byte between runs that
+        saw identical traffic.
+        """
+        with self._lock:
+            self.requests += other.requests
+            self.retries += other.retries
+            self.timeouts += other.timeouts
+            self.redirects_followed += other.redirects_followed
+            self.bytes_received += other.bytes_received
+            combined = dict(self.status_counts)
+            for status, count in other.status_counts.items():
+                combined[status] = combined.get(status, 0) + count
+            self.status_counts = {
+                status: combined[status] for status in sorted(combined)
+            }
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (worker → parent transfer)."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "redirects_followed": self.redirects_followed,
+                "bytes_received": self.bytes_received,
+                "status_counts": {
+                    str(status): self.status_counts[status]
+                    for status in sorted(self.status_counts)
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClientStats":
+        try:
+            return cls(
+                requests=int(payload.get("requests", 0)),
+                retries=int(payload.get("retries", 0)),
+                timeouts=int(payload.get("timeouts", 0)),
+                redirects_followed=int(payload.get("redirects_followed", 0)),
+                bytes_received=int(payload.get("bytes_received", 0)),
+                status_counts={
+                    int(status): int(count)
+                    for status, count in (
+                        payload.get("status_counts") or {}
+                    ).items()
+                },
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"malformed client stats: {exc!r}") from exc
+
 
 class HttpClient:
     """A synchronous HTTP client over a :class:`Transport`.

@@ -159,11 +159,17 @@ class KeyedRateLimiter:
             return
         # The just-created bucket starts full: without `protect` it would
         # be its own first eviction victim, discarding the token its
-        # caller is about to take.
-        victims = [
-            k for k, b in self._buckets.items()
-            if k != protect and b.is_full()
-        ][:over]
+        # caller is about to take.  Stop scanning as soon as enough
+        # victims are found — the table sits at most a few entries over
+        # ``max_keys`` in steady state, so sweeping the whole dict here
+        # made every new key an O(max_keys) operation (quadratic over a
+        # crawl that touches millions of distinct URLs).
+        victims = []
+        for k, b in self._buckets.items():
+            if k != protect and b.is_full():
+                victims.append(k)
+                if len(victims) >= over:
+                    break
         for key in victims:
             del self._buckets[key]
             self.evictions += 1

@@ -37,6 +37,7 @@ from repro.store.corpus import (
     Corpus,
     CorpusStore,
     SealedCorpusError,
+    iter_snapshot_lines,
 )
 from repro.store.segments import (
     MANIFEST_NAME,
@@ -73,6 +74,7 @@ __all__ = [
     "encode_url",
     "encode_user",
     "hash_lines",
+    "iter_snapshot_lines",
     "load_manifest",
     "read_segment",
     "segment_name",

@@ -41,11 +41,16 @@ import os
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.store.codecs import KIND_URL, KIND_USER, decode_line
+from repro.crawler.records import CrawledComment, CrawledUrl, CrawledUser
+from repro.store.codecs import decode_line
 from repro.store.segments import SegmentRef, columns_path
+
+if TYPE_CHECKING:
+    from repro.store.corpus import CorpusStore
 
 __all__ = [
     "COLUMN_KEYS",
@@ -189,14 +194,19 @@ class ColumnProjector:
 
     def observe(self, kind: str, record: object) -> None:
         """Project one decoded log line into the row buffer."""
-        if kind == KIND_USER:
+        if isinstance(record, CrawledUser):
             self.observe_user(record)
-        elif kind == KIND_URL:
+        elif isinstance(record, CrawledUrl):
             self.observe_url(record)
-        else:
+        elif isinstance(record, CrawledComment):
             self.observe_comment(record)
+        else:
+            raise TypeError(
+                f"no column projection for {kind!r} record "
+                f"{type(record).__name__}"
+            )
 
-    def observe_user(self, user) -> None:
+    def observe_user(self, user: CrawledUser) -> None:
         perm_mask = 0
         for name, value in user.permissions.items():
             bit = self.flags.intern(name)
@@ -219,7 +229,7 @@ class ColumnProjector:
         buffers["user_filter_mask"].append(filter_mask)
         self._pending += 1
 
-    def observe_url(self, url) -> None:
+    def observe_url(self, url: CrawledUrl) -> None:
         str_ord = self.url_strings.intern(url.url)
         if str_ord == len(self._url_meta):
             self._url_meta.append(self._derive_url_meta(url.url))
@@ -235,7 +245,7 @@ class ColumnProjector:
         buffers["url_multi"].append(multi)
         self._pending += 1
 
-    def observe_comment(self, comment) -> None:
+    def observe_comment(self, comment: CrawledComment) -> None:
         buffers = self._buffers
         buffers["comment_key"].append(
             self.comment_ids.intern(comment.comment_id)
@@ -334,7 +344,7 @@ class ColumnProjector:
     def _delta_arrays(
         self, marks: dict[str, tuple[int, int]]
     ) -> dict[str, np.ndarray]:
-        out = {}
+        out: dict[str, np.ndarray] = {}
         for table, (start, end) in marks.items():
             values = getattr(self, table).values[start:end]
             out["delta_" + table] = np.asarray(values, dtype=np.str_)
@@ -557,16 +567,27 @@ class ColumnView:
     reproducing the store dicts' first-insertion order exactly.
     """
 
-    def __init__(self, store) -> None:
+    def __init__(self, store: "CorpusStore") -> None:
         self._store = store
         self._chunks: list[dict] | None = None
         self._columns: dict[str, np.ndarray] = {}
-        self._memo: dict[str, object] = {}
+        self._memo_comments: CommentColumns | None = None
+        self._memo_urls: UrlColumns | None = None
+        self._memo_users: UserColumns | None = None
+        self._memo_per_author: np.ndarray | None = None
+        self._memo_per_url: np.ndarray | None = None
+        self._memo_url_groups: tuple[np.ndarray, np.ndarray] | None = None
+        self._memo_author_groups: tuple[np.ndarray, np.ndarray] | None = None
+        self._memo_score_rows: list | None = None
+        self._memo_scores: dict[str, np.ndarray] = {}
 
     @property
     def tables(self) -> ColumnProjector:
         """The projector owning every intern table (read-only use)."""
-        return self._store.projector
+        projector = self._store.projector
+        if projector is None:
+            raise RuntimeError("store was built with columns=False")
+        return projector
 
     # -- log-level columns ---------------------------------------------
 
@@ -609,7 +630,7 @@ class ColumnView:
 
     @property
     def comments(self) -> CommentColumns:
-        memo = self._memo.get("comments")
+        memo = self._memo_comments
         if memo is None:
             order, rows = self._dedup(
                 "comment_key", len(self.tables.comment_ids)
@@ -622,12 +643,12 @@ class ColumnView:
                 reply=self.column("comment_reply")[rows],
                 shadow=self.column("comment_shadow")[rows],
             )
-            self._memo["comments"] = memo
+            self._memo_comments = memo
         return memo
 
     @property
     def urls(self) -> UrlColumns:
-        memo = self._memo.get("urls")
+        memo = self._memo_urls
         if memo is None:
             order, rows = self._dedup("url_key", len(self.tables.url_ids))
             up = self.column("url_up")[rows]
@@ -643,12 +664,12 @@ class ColumnView:
                 scheme=self.column("url_scheme")[rows],
                 multi=self.column("url_multi")[rows],
             )
-            self._memo["urls"] = memo
+            self._memo_urls = memo
         return memo
 
     @property
     def users(self) -> UserColumns:
-        memo = self._memo.get("users")
+        memo = self._memo_users
         if memo is None:
             order, rows = self._dedup("user_key", len(self.tables.usernames))
             memo = UserColumns(
@@ -658,29 +679,29 @@ class ColumnView:
                 perm_mask=self.column("user_perm_mask")[rows],
                 filter_mask=self.column("user_filter_mask")[rows],
             )
-            self._memo["users"] = memo
+            self._memo_users = memo
         return memo
 
     # -- shared reductions ---------------------------------------------
 
     def comments_per_author(self) -> np.ndarray:
         """Comment count per author ordinal (deduplicated comments)."""
-        memo = self._memo.get("per_author")
+        memo = self._memo_per_author
         if memo is None:
             memo = np.bincount(
                 self.comments.author, minlength=len(self.tables.authors)
             )
-            self._memo["per_author"] = memo
+            self._memo_per_author = memo
         return memo
 
     def comments_per_url_id(self) -> np.ndarray:
         """Comment count per url-id ordinal (deduplicated comments)."""
-        memo = self._memo.get("per_url")
+        memo = self._memo_per_url
         if memo is None:
             memo = np.bincount(
                 self.comments.url, minlength=len(self.tables.url_ids)
             )
-            self._memo["per_url"] = memo
+            self._memo_per_url = memo
         return memo
 
     def active_author_mask(self) -> np.ndarray:
@@ -694,7 +715,7 @@ class ColumnView:
         deduplicated comments for url ordinal ``u``, preserving corpus
         order within the group.
         """
-        memo = self._memo.get("url_groups")
+        memo = self._memo_url_groups
         if memo is None:
             order = np.argsort(self.comments.url, kind="stable")
             counts = self.comments_per_url_id()
@@ -702,7 +723,7 @@ class ColumnView:
                 [[0], np.cumsum(counts, dtype=np.int64)]
             )
             memo = (order, offsets)
-            self._memo["url_groups"] = memo
+            self._memo_url_groups = memo
         return memo
 
     def author_comment_order(self) -> tuple[np.ndarray, np.ndarray]:
@@ -713,7 +734,7 @@ class ColumnView:
         corpus order within the group — the author-side mirror of
         :meth:`url_comment_order`.
         """
-        memo = self._memo.get("author_groups")
+        memo = self._memo_author_groups
         if memo is None:
             order = np.argsort(self.comments.author, kind="stable")
             counts = self.comments_per_author()
@@ -721,32 +742,31 @@ class ColumnView:
                 [[0], np.cumsum(counts, dtype=np.int64)]
             )
             memo = (order, offsets)
-            self._memo["author_groups"] = memo
+            self._memo_author_groups = memo
         return memo
 
     # -- score columns -------------------------------------------------
 
-    def score_rows(self, score_store) -> list:
+    def score_rows(self, score_store: Any) -> list:
         """Perspective score rows for every comment, in corpus order.
 
         The rows are the score store's own cached dicts (scoring is a
         pure function of the text), memoised once per view so repeated
         analyses share one pass.
         """
-        rows = self._memo.get("score_rows")
+        rows = self._memo_score_rows
         if rows is None:
-            rows = score_store.score_many(list(self._store.texts()))
-            self._memo["score_rows"] = rows
+            rows = list(score_store.score_many(list(self._store.texts())))
+            self._memo_score_rows = rows
         return rows
 
-    def attribute_scores(self, score_store, attribute: str) -> np.ndarray:
+    def attribute_scores(self, score_store: Any, attribute: str) -> np.ndarray:
         """One attribute's scores as a float64 column, in corpus order."""
-        key = "scores:" + attribute
-        arr = self._memo.get(key)
+        arr = self._memo_scores.get(attribute)
         if arr is None:
             rows = self.score_rows(score_store)
             arr = np.asarray([row[attribute] for row in rows], dtype=float)
-            self._memo[key] = arr
+            self._memo_scores[attribute] = arr
         return arr
 
 
@@ -760,4 +780,5 @@ def columns_of(corpus: object) -> ColumnView | None:
     getter = getattr(corpus, "column_view", None)
     if getter is None:
         return None
-    return getter()
+    view = getter()
+    return view if isinstance(view, ColumnView) else None

@@ -73,7 +73,13 @@ from repro.store.segments import (
     write_segment,
 )
 
-__all__ = ["Corpus", "CorpusStore", "SealedCorpusError", "STORE_FORMAT_VERSION"]
+__all__ = [
+    "Corpus",
+    "CorpusStore",
+    "SealedCorpusError",
+    "STORE_FORMAT_VERSION",
+    "iter_snapshot_lines",
+]
 
 #: Version tag of the store snapshot payload (checkpoint format v3).
 STORE_FORMAT_VERSION = 3
@@ -103,7 +109,7 @@ class CorpusStore:
         store_dir: str | Path | None = None,
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
         columns: bool = True,
-    ):
+    ) -> None:
         if segment_records < 1:
             raise ValueError("segment_records must be >= 1")
         self.users: dict[str, CrawledUser] = {}
@@ -187,6 +193,20 @@ class CorpusStore:
         makes the log self-contained so replay reproduces the mutation.
         """
         self.add_user(user)
+
+    def replay_line(self, line: str) -> None:
+        """Append one already-encoded log line, upserting its record.
+
+        The sharded crawl engine's deterministic merge streams worker
+        log lines (in global record order) into the final store through
+        this: the original bytes pass through untouched, so the merged
+        segments hash identically to an unsharded run's, and the dict
+        upsert keeps first-insertion positions exactly as ``add_*``
+        would have.
+        """
+        self._guard()
+        self._apply_line(line)
+        self._append(line)
 
     def _seal_segment(self) -> None:
         lines, self._tail = self._tail, []
@@ -472,11 +492,11 @@ class CorpusStore:
 
     def _apply_line(self, line: str) -> None:
         kind, record = decode_line(line)
-        if kind == "user":
+        if isinstance(record, CrawledUser):
             self.users[record.username] = record
-        elif kind == "url":
+        elif isinstance(record, CrawledUrl):
             self.urls[record.commenturl_id] = record
-        else:
+        elif isinstance(record, CrawledComment):
             self.comments[record.comment_id] = record
         if self._projector is not None:
             self._projector.observe(kind, record)
@@ -499,7 +519,8 @@ class CorpusStore:
         when the recomputed bytes match the manifest.  Memoised once the
         store is sealed.
         """
-        if self._projector is None:
+        projector = self._projector
+        if projector is None:
             raise RuntimeError("store was built with columns=False")
         if self._memo_chunks is not None:
             self.column_counters["view_cache_hits"] += 1
@@ -514,8 +535,13 @@ class CorpusStore:
             if arrays is None:
                 lines = self._inline_segments.get(ref.name)
                 if lines is None:
+                    if self.store_dir is None:
+                        raise RuntimeError(
+                            f"segment {ref.name} has neither inline lines "
+                            f"nor a store directory to read from"
+                        )
                     lines = read_segment(self.store_dir, ref)
-                arrays = self._projector.project_lines(lines, index)
+                arrays = projector.project_lines(lines, index)
                 self.column_counters["fallbacks"] += 1
                 if self.store_dir is not None and ref.columns_sha256 is not None:
                     healed = heal_columns(
@@ -524,7 +550,7 @@ class CorpusStore:
                     if not healed:
                         self.column_counters["hash_mismatches"] += 1
             chunks.append(arrays)
-        chunks.append(self._projector.peek_tail())
+        chunks.append(projector.peek_tail())
         if self._sealed:
             self._memo_chunks = chunks
         return chunks
@@ -562,6 +588,51 @@ class CorpusStore:
             urls=dict(self.urls),
             comments=dict(self.comments),
         )
+
+
+def iter_snapshot_lines(payload: dict) -> Iterator[str]:
+    """Stream every log line of a :meth:`CorpusStore.snapshot` payload.
+
+    Sealed segments yield first (in seal order), then the unsealed
+    tail — i.e. exact log order.  Inline segments are hash-verified;
+    spilled segments are read (and verified) from the payload's ``dir``.
+    The sharded merge uses this to consume worker snapshots without
+    instantiating a store per shard.
+
+    Raises:
+        ValueError: malformed payload, count/hash mismatch, or a
+            spilled segment with no directory to read from.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"store payload must be an object, got {type(payload).__name__}"
+        )
+    if payload.get("version") != STORE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported store payload version {payload.get('version')!r}"
+        )
+    base = payload.get("dir")
+    for entry in payload.get("sealed") or []:
+        if not isinstance(entry, dict):
+            raise ValueError("sealed segment entry must be an object")
+        ref = SegmentRef.from_payload(entry)
+        raw_lines = entry.get("lines")
+        if raw_lines is None:
+            if base is None:
+                raise ValueError(
+                    f"segment {ref.name} has no inline lines and the "
+                    f"payload names no store directory"
+                )
+            lines = read_segment(Path(base), ref)
+        else:
+            lines = [str(line) for line in raw_lines]
+            if len(lines) != ref.count or hash_lines(lines) != ref.sha256:
+                raise ValueError(
+                    f"inline segment {ref.name} failed verification"
+                )
+        yield from lines
+    for raw in payload.get("tail") or []:
+        yield str(raw)
 
 
 #: What the analyses consume: the store, or the legacy in-memory result

@@ -1,0 +1,49 @@
+"""CONC002 bad fixture: completion-order collection and pids in payloads."""
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+
+def collect_futures(jobs):
+    results = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(job) for job in jobs]
+        for future in as_completed(futures):   # line 13: completion order
+            results.append(future.result())
+    return results
+
+
+def collect_imap(pool, jobs):
+    return list(pool.imap_unordered(run, jobs))   # line 19: completion order
+
+
+def wait_for_workers(pipes):
+    return multiprocessing.connection.wait(pipes)   # line 23: readiness order
+
+
+class WorkerResult:
+    def __init__(self, pages):
+        self.pages = pages
+
+    def to_payload(self):
+        return {
+            "pages": self.pages,
+            "worker": os.getpid(),              # line 33: pid in serializer
+        }
+
+
+def dump_report(path, pages):
+    with open(path, "w") as handle:
+        json.dump(
+            {
+                "pages": pages,
+                "process": multiprocessing.current_process().name,  # line 42
+            },
+            handle,
+        )
+
+
+def run(job):
+    return job

@@ -1,0 +1,43 @@
+"""CONC002 good fixture: shard-id-ordered collection, shard ids in payloads.
+
+``os.getpid()`` appears — but only in a log line, never in a serialized
+payload, so it cannot change any bytes that are compared across runs.
+"""
+
+import json
+import multiprocessing
+import os
+
+
+def collect_in_shard_order(world, shards, spawn):
+    """Join workers in ascending shard id, never completion order."""
+    workers = [spawn(world, shard) for shard in range(shards)]
+    outputs = []
+    for shard, worker in enumerate(workers):
+        worker.join()
+        outputs.append((shard, worker.output))
+    return outputs
+
+
+def collect_imap_ordered(pool, jobs):
+    """pool.imap preserves submission order; this is fine."""
+    return list(pool.imap(run, jobs))
+
+
+class WorkerResult:
+    def __init__(self, shard, pages):
+        self.shard = shard
+        self.pages = pages
+
+    def to_payload(self):
+        return {"shard": self.shard, "pages": self.pages}
+
+
+def dump_report(path, shard, pages):
+    print(f"worker pid={os.getpid()} shard={shard}")
+    with open(path, "w") as handle:
+        json.dump({"shard": shard, "pages": pages}, handle)
+
+
+def run(job):
+    return len(multiprocessing.active_children()) and job
