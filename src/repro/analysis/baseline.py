@@ -4,10 +4,18 @@ A baseline lets the suite gate *new* findings while pre-existing,
 reviewed ones ride along: CI runs ``python -m repro.analysis`` against
 ``analysis-baseline.json`` and fails only on findings absent from it.
 
-Entries are matched by ``(code, path, stripped source line)`` rather
-than line *numbers*, so unrelated edits above a baselined site don't
-resurrect it.  Matching is multiset-style: two identical offending lines
-in one file need two baseline entries.
+Entries are matched in two passes.  The exact key is
+``(code, path, stripped source line)`` rather than line *numbers*, so
+unrelated edits above a baselined site don't resurrect it.  Version-2
+entries also carry a ``context_hash`` — a digest of the code plus the
+stripped previous/current/next source lines, deliberately
+path-independent — so a file rename or move keeps its accepted findings
+covered (the v1 scheme broke on renames).  Matching is multiset-style:
+two identical offending lines in one file need two baseline entries.
+
+Version-1 documents (no hashes) load transparently; saving always
+writes version 2, and ``--prune-baseline`` re-keys surviving entries
+with hashes from the findings they cover, migrating a v1 file in place.
 """
 
 from __future__ import annotations
@@ -20,37 +28,90 @@ from typing import TYPE_CHECKING, Iterable
 if TYPE_CHECKING:   # pragma: no cover - import cycle guard, types only
     from repro.analysis.engine import Finding
 
-__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+__all__ = ["Baseline", "BaselineEntry", "DEFAULT_BASELINE_NAME"]
 
 DEFAULT_BASELINE_NAME = "analysis-baseline.json"
 
-_BASELINE_VERSION = 1
+_BASELINE_VERSION = 2
+
+#: (code, path, line_text, context_hash) — hash is "" for v1 entries
+BaselineEntry = tuple[str, str, str, str]
 
 
 class Baseline:
-    """Accepted findings, keyed by (code, path, line text)."""
+    """Accepted findings, keyed by (code, path, line text[, context])."""
 
-    def __init__(self, entries: Iterable[tuple[str, str, str]] = ()):
-        self._entries: Counter[tuple[str, str, str]] = Counter(entries)
+    def __init__(self, entries: Iterable[tuple] = ()):
+        self._entries: Counter[BaselineEntry] = Counter()
+        for entry in entries:
+            if len(entry) == 3:
+                entry = (*entry, "")
+            self._entries[entry] += 1   # type: ignore[index]
 
     def __len__(self) -> int:
         return sum(self._entries.values())
 
     @staticmethod
-    def _key(finding: "Finding") -> tuple[str, str, str]:
-        return (finding.code, finding.path, finding.line_text)
+    def _key(finding: "Finding") -> BaselineEntry:
+        return (
+            finding.code, finding.path, finding.line_text,
+            finding.context_hash,
+        )
 
     def subtract(self, findings: list["Finding"]) -> list["Finding"]:
         """Remove findings covered by the baseline (consuming entries)."""
+        return self.subtract_tracking(findings)[0]
+
+    def subtract_tracking(
+        self, findings: list["Finding"]
+    ) -> tuple[list["Finding"], list[BaselineEntry], list[BaselineEntry]]:
+        """Like :meth:`subtract`, but also report entry usage.
+
+        Returns:
+            ``(kept, stale, used)`` — surviving findings, entries that
+            covered nothing (prune candidates), and entries that did
+            cover a finding.  A used v1 entry (no hash) is re-keyed
+            with the covering finding's ``context_hash`` so pruning a
+            v1 baseline writes a fully-migrated v2 document.
+        """
         remaining = Counter(self._entries)
+        by_key: dict[tuple[str, str, str], list[BaselineEntry]] = {}
+        by_hash: dict[tuple[str, str], list[BaselineEntry]] = {}
+        for entry in sorted(remaining):
+            code, path, line_text, context_hash = entry
+            by_key.setdefault((code, path, line_text), []).append(entry)
+            if context_hash:
+                by_hash.setdefault((code, context_hash), []).append(entry)
+
+        used: list[BaselineEntry] = []
+
+        def consume(
+            candidates: list[BaselineEntry], finding: "Finding"
+        ) -> bool:
+            for entry in candidates:
+                if remaining[entry] > 0:
+                    remaining[entry] -= 1
+                    context_hash = entry[3] or finding.context_hash
+                    used.append((entry[0], entry[1], entry[2], context_hash))
+                    return True
+            return False
+
         kept = []
         for finding in findings:
-            key = self._key(finding)
-            if remaining.get(key, 0) > 0:
-                remaining[key] -= 1
-            else:
-                kept.append(finding)
-        return kept
+            key = (finding.code, finding.path, finding.line_text)
+            if consume(by_key.get(key, []), finding):
+                continue
+            if finding.context_hash and consume(
+                by_hash.get((finding.code, finding.context_hash), []),
+                finding,
+            ):
+                continue
+            kept.append(finding)
+
+        stale: list[BaselineEntry] = []
+        for entry in sorted(remaining):
+            stale.extend([entry] * remaining[entry])
+        return kept, stale, sorted(used)
 
     @classmethod
     def from_findings(cls, findings: Iterable["Finding"]) -> "Baseline":
@@ -61,29 +122,35 @@ class Baseline:
     # ------------------------------------------------------------------
 
     def to_payload(self) -> dict:
-        entries = [
-            {"code": code, "path": path, "line_text": line_text}
-            for (code, path, line_text), count in sorted(self._entries.items())
-            for _ in range(count)
-        ]
+        entries = []
+        for (code, path, line_text, context_hash), count in sorted(
+            self._entries.items()
+        ):
+            record = {"code": code, "path": path, "line_text": line_text}
+            if context_hash:
+                record["context_hash"] = context_hash
+            entries.extend([record] * count)
         return {"version": _BASELINE_VERSION, "entries": entries}
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Baseline":
-        """Parse a baseline document.
+        """Parse a baseline document (versions 1 and 2).
 
         Raises:
             ValueError: wrong version or malformed entries.
         """
         if not isinstance(payload, dict):
             raise ValueError("baseline must be a JSON object")
-        if payload.get("version") != _BASELINE_VERSION:
+        if payload.get("version") not in (1, _BASELINE_VERSION):
             raise ValueError(
                 f"unsupported baseline version {payload.get('version')!r}"
             )
         try:
             return cls(
-                (entry["code"], entry["path"], entry["line_text"])
+                (
+                    entry["code"], entry["path"], entry["line_text"],
+                    entry.get("context_hash", ""),
+                )
                 for entry in payload.get("entries", [])
             )
         except (KeyError, TypeError) as exc:

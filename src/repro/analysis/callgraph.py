@@ -1,0 +1,318 @@
+"""Project call graph over the symbol table.
+
+Edges are resolved *by name and shallow type*, never by execution: a
+call is attributed to the one project function it can reach under the
+receiver-type rules in :mod:`repro.analysis.symbols`.  Unresolvable
+calls (stdlib, third-party, dynamic dispatch through values) simply
+produce no edge — the dataflow pass handles tainted *values* flowing
+through such calls separately.
+
+The graph serializes deterministically (``to_payload``/``to_dot``) for
+``repro analyze --dump-callgraph``; CI uploads the JSON as a build
+artifact so reviewers can diff reachability across PRs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    SymbolTable,
+    _annotation_name,
+    annotation_is_set,
+)
+
+__all__ = ["CallGraph", "CallResolver", "CallSite", "build_callgraph"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge."""
+
+    caller: str        # qname
+    callee: str        # qname
+    path: str          # caller's file
+    line: int          # call line
+
+    def sort_key(self) -> tuple:
+        return (self.caller, self.line, self.callee)
+
+
+class CallResolver:
+    """Resolve call expressions inside one function to project symbols."""
+
+    def __init__(self, table: SymbolTable, function: FunctionInfo) -> None:
+        self.table = table
+        self.function = function
+        self.module = table.modules[function.module]
+        self.imports = self.module.imports
+        #: local variable name -> flat class name
+        self.local_types: dict[str, str] = {}
+        self._infer_signature_types()
+        self._infer_body_types()
+
+    # ------------------------------------------------------------------
+    # Local type environment.
+    # ------------------------------------------------------------------
+
+    def _infer_signature_types(self) -> None:
+        node = self.function.node
+        if self.function.class_name is not None:
+            args = node.args
+            receiver = [*args.posonlyargs, *args.args][:1]
+            decorators = {
+                dec.id
+                for dec in node.decorator_list
+                if isinstance(dec, ast.Name)
+            }
+            if receiver and "staticmethod" not in decorators:
+                self.local_types[receiver[0].arg] = self.function.class_name
+        for arg in [
+            *node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs
+        ]:
+            name = _annotation_name(arg.annotation)
+            if name:
+                self.local_types.setdefault(arg.arg, name)
+
+    def _infer_body_types(self) -> None:
+        for stmt in ast.walk(self.function.node):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                name = _annotation_name(stmt.annotation)
+                if name:
+                    self.local_types[stmt.target.id] = name
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                inferred = self.infer_type(stmt.value)
+                if inferred:
+                    self.local_types[target.id] = inferred
+
+    def infer_type(self, expr: ast.expr) -> str | None:
+        """Flat class name of an expression, where shallowly knowable."""
+        if isinstance(expr, ast.Name):
+            return self.local_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base_type = self.infer_type(expr.value)
+            if base_type is not None:
+                return self.table.mro_attr_type(base_type, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            resolved = self.resolve_call_target(expr)
+            if isinstance(resolved, ClassInfo):
+                return resolved.name
+            if isinstance(resolved, FunctionInfo):
+                returns = _annotation_name(resolved.node.returns)
+                # ``def seal(self) -> "CorpusStore"`` and Self-returning
+                # builders keep the receiver type.
+                if returns == "Self" and resolved.class_name:
+                    return resolved.class_name
+                return returns
+            return None
+        if isinstance(expr, ast.Await):
+            return self.infer_type(expr.value)
+        return None
+
+    def expr_is_set(self, expr: ast.expr) -> bool:
+        """Whether an expression is set-typed under the shallow rules."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            resolved = self.resolve_call_target(expr)
+            if isinstance(resolved, FunctionInfo):
+                return annotation_is_set(resolved.node.returns)
+            return False
+        if isinstance(expr, ast.Name):
+            inferred = self.local_types.get(expr.id)
+            return inferred in ("set", "frozenset")
+        if isinstance(expr, ast.Attribute):
+            base_type = self.infer_type(expr.value)
+            if base_type is not None:
+                return self.table.mro_attr_is_set(base_type, expr.attr)
+        return False
+
+    # ------------------------------------------------------------------
+    # Call resolution.
+    # ------------------------------------------------------------------
+
+    def resolve_call_target(
+        self, call: ast.Call
+    ) -> FunctionInfo | ClassInfo | None:
+        return self.resolve_callable(call.func)
+
+    def resolve_callable(
+        self, func: ast.expr
+    ) -> FunctionInfo | ClassInfo | None:
+        table = self.table
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.module.functions:
+                return self.module.functions[name]
+            if name in self.module.classes:
+                return self.module.classes[name]
+            origin = self.imports.get(name)
+            if origin is not None:
+                return table.module_attr(origin)
+            return None
+        if isinstance(func, ast.Attribute):
+            # Module-dotted chain first: codecs.encode_user, repro.x.y.
+            dotted = table.resolve_dotted(func, self.imports)
+            if dotted is not None:
+                resolved = table.module_attr(dotted)
+                if resolved is not None:
+                    return resolved
+            # Class-qualified: ClassName.method (incl. imported class).
+            base = func.value
+            if isinstance(base, ast.Name):
+                class_info = self._class_for_name(base.id)
+                if class_info is not None:
+                    return table.resolve_method(class_info.name, func.attr)
+            # Receiver-typed: obj.method() with obj's type inferred.
+            receiver_type = self.infer_type(base)
+            if receiver_type is not None:
+                return table.resolve_method(receiver_type, func.attr)
+        return None
+
+    def _class_for_name(self, name: str) -> ClassInfo | None:
+        if name in self.module.classes:
+            return self.module.classes[name]
+        origin = self.imports.get(name)
+        if origin is not None:
+            resolved = self.table.module_attr(origin)
+            if isinstance(resolved, ClassInfo):
+                return resolved
+        return None
+
+    def resolved_function(self, call: ast.Call) -> FunctionInfo | None:
+        """The FunctionInfo a call reaches (constructors -> __init__)."""
+        resolved = self.resolve_call_target(call)
+        if isinstance(resolved, ClassInfo):
+            return self.table.resolve_method(resolved.name, "__init__")
+        return resolved
+
+
+@dataclass
+class CallGraph:
+    """caller -> callees and the reverse index, deterministically ordered."""
+
+    # to_payload here is a one-way export for --dump-callgraph, not a
+    # checkpoint codec: the table and the derived reverse index are
+    # reconstruction state, never round-tripped.
+    # repro: allow CHK001 export-only payload, table is not serialized state
+    table: SymbolTable
+    edges: dict[str, list[CallSite]] = field(default_factory=dict)
+    # repro: allow CHK001 derived reverse index, rebuilt from edges
+    callers_of: dict[str, list[CallSite]] = field(default_factory=dict)
+
+    def callees(self, qname: str) -> list[CallSite]:
+        return self.edges.get(qname, [])
+
+    def callers(self, qname: str) -> list[CallSite]:
+        return self.callers_of.get(qname, [])
+
+    def iter_sites(self) -> Iterator[CallSite]:
+        for caller in sorted(self.edges):
+            yield from self.edges[caller]
+
+    # ------------------------------------------------------------------
+    # Reachability helpers for the state checkers.
+    # ------------------------------------------------------------------
+
+    def shortest_caller_chain(
+        self, qname: str, max_depth: int = 6
+    ) -> list[CallSite]:
+        """A deterministic shortest chain of call sites reaching ``qname``.
+
+        Walks *up* the caller index breadth-first, tie-breaking on the
+        sites' sort keys, and stops at an entry point (no callers) or at
+        ``max_depth``.  Returns the chain ordered entry-first.
+        """
+        chain: list[CallSite] = []
+        current = qname
+        seen = {qname}
+        for _ in range(max_depth):
+            callers = [
+                site for site in self.callers(current)
+                if site.caller not in seen
+            ]
+            if not callers:
+                break
+            site = min(callers, key=lambda s: (s.caller, s.line, s.callee))
+            chain.append(site)
+            seen.add(site.caller)
+            current = site.caller
+        chain.reverse()
+        return chain
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        functions = self.table.functions
+        nodes = [
+            {
+                "qname": qname,
+                "module": functions[qname].module,
+                "path": functions[qname].path,
+                "line": functions[qname].line,
+            }
+            for qname in sorted(functions)
+        ]
+        edges = [
+            {
+                "caller": site.caller,
+                "callee": site.callee,
+                "path": site.path,
+                "line": site.line,
+            }
+            for site in self.iter_sites()
+        ]
+        return {"version": 1, "nodes": nodes, "edges": edges}
+
+    def to_dot(self) -> str:
+        lines = ["digraph callgraph {"]
+        for qname in sorted(self.table.functions):
+            lines.append(f'  "{qname}";')
+        for site in self.iter_sites():
+            lines.append(f'  "{site.caller}" -> "{site.callee}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def build_callgraph(table: SymbolTable) -> CallGraph:
+    graph = CallGraph(table=table)
+    for function in table.iter_functions():
+        resolver = CallResolver(table, function)
+        sites: list[CallSite] = []
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = resolver.resolved_function(node)
+            if callee is None:
+                continue
+            sites.append(
+                CallSite(
+                    caller=function.qname,
+                    callee=callee.qname,
+                    path=function.path,
+                    line=node.lineno,
+                )
+            )
+        if sites:
+            sites.sort(key=CallSite.sort_key)
+            graph.edges[function.qname] = sites
+            for site in sites:
+                graph.callers_of.setdefault(site.callee, []).append(site)
+    for callee in graph.callers_of:
+        graph.callers_of[callee].sort(key=CallSite.sort_key)
+    return graph

@@ -1107,7 +1107,11 @@ PROJECT_CATALOG: tuple[ProjectChecker, ...] = (
 
 def known_codes() -> set[str]:
     """Every valid checker code (for suppression validation)."""
+    # Imported lazily: dataflow imports this module's source tables.
+    from repro.analysis.dataflow import FLOW_CATALOG
+
     codes = {checker.code for checker in CATALOG}
     codes |= {checker.code for checker in PROJECT_CATALOG}
-    codes.add("SUP001")
+    codes |= {info.code for info in FLOW_CATALOG}
+    codes |= {"SUP001", "SUP002"}
     return codes

@@ -8,12 +8,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.checkers import CATALOG, PROJECT_CATALOG
-from repro.analysis.engine import Finding, analyze_paths
+from repro.analysis.engine import Finding, analyze_paths_report, parse_modules
 
 __all__ = ["build_parser", "main"]
 
@@ -60,11 +61,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-checkers", action="store_true",
         help="print the checker catalog (code, rationale, hint) and exit",
     )
+    parser.add_argument(
+        "--project", action="store_true",
+        help="also run the interprocedural passes (call graph, "
+             "nondeterminism taint, LOCK001/SEAL001)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the per-module catalog with N worker processes "
+             "(0 = one per CPU; output is byte-identical to serial)",
+    )
+    parser.add_argument(
+        "--dump-callgraph", type=Path, default=None, metavar="PATH",
+        help="write the project call graph to PATH (Graphviz dot when "
+             "PATH ends with .dot, JSON otherwise; '-' for stdout) "
+             "and exit",
+    )
+    parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline keeping only entries that still "
+             "cover a finding, then exit 0",
+    )
     return parser
 
 
 def _list_checkers(stream) -> None:
-    for checker in [*CATALOG, *PROJECT_CATALOG]:
+    from repro.analysis.dataflow import FLOW_CATALOG
+
+    for checker in [*CATALOG, *PROJECT_CATALOG, *FLOW_CATALOG]:
         print(f"{checker.code}  {checker.name}", file=stream)
         print(f"    why:  {checker.rationale}", file=stream)
         print(f"    fix:  {checker.hint}", file=stream)
@@ -77,6 +101,16 @@ def _list_checkers(stream) -> None:
     print(
         "    fix:  write '# repro: allow <CODE> <reason>' with a real "
         "code and reason",
+        file=stream,
+    )
+    print("SUP002  stale suppression or baseline entry", file=stream)
+    print(
+        "    why:  a suppression or baseline entry matching no finding "
+        "widens the accepted surface for free",
+        file=stream,
+    )
+    print(
+        "    fix:  delete the comment, or run --prune-baseline",
         file=stream,
     )
 
@@ -117,6 +151,27 @@ def _emit(findings: list[Finding], fmt: str, stream) -> None:
         print("clean: no new findings", file=stream)
 
 
+def _dump_callgraph(paths: list[str], target: Path) -> int:
+    from repro.analysis.dataflow import project_callgraph
+
+    try:
+        modules = parse_modules(paths)
+    except (FileNotFoundError, ValueError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    graph = project_callgraph(modules)
+    if str(target).endswith(".dot"):
+        text = graph.to_dot()
+    else:
+        text = json.dumps(graph.to_payload(), indent=2, sort_keys=True) + "\n"
+    if str(target) == "-":
+        sys.stdout.write(text)
+    else:
+        target.write_text(text, encoding="utf-8")
+        print(f"call graph written to {target}")
+    return EXIT_CLEAN
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the suite; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -124,23 +179,49 @@ def main(argv: list[str] | None = None) -> int:
         _list_checkers(sys.stdout)
         return EXIT_CLEAN
     paths = args.paths or _default_paths()
+    if args.dump_callgraph is not None:
+        return _dump_callgraph(paths, args.dump_callgraph)
     baseline, baseline_path = _resolve_baseline(args)
     if args.write_baseline:
         # A fresh baseline accepts everything currently in the tree.
         baseline = None
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     try:
-        findings = analyze_paths(paths, baseline=baseline)
+        report = analyze_paths_report(
+            paths,
+            baseline=baseline,
+            project=args.project,
+            jobs=jobs,
+            baseline_path=(
+                str(baseline_path) if baseline is not None else None
+            ),
+        )
     except (FileNotFoundError, ValueError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    findings = report.findings
+    if args.prune_baseline:
+        if baseline is None:
+            print("error: no baseline to prune", file=sys.stderr)
+            return EXIT_USAGE
+        Baseline(report.baseline_used).save(baseline_path)
+        print(
+            f"baseline pruned to {baseline_path} "
+            f"({len(report.baseline_used)} kept, "
+            f"{len(report.baseline_stale)} stale entr(ies) dropped)",
+        )
+        return EXIT_CLEAN
     if args.select:
         wanted = {code.strip() for code in args.select.split(",")}
         findings = [f for f in findings if f.code in wanted]
     if args.write_baseline:
-        Baseline.from_findings(findings).save(baseline_path)
+        # SUP002 hygiene findings are deliberately not baselinable —
+        # the suppression surface may only shrink.
+        accepted = [f for f in findings if f.code != "SUP002"]
+        Baseline.from_findings(accepted).save(baseline_path)
         print(
             f"baseline written to {baseline_path} "
-            f"({len(findings)} accepted finding(s))",
+            f"({len(accepted)} accepted finding(s))",
         )
         return EXIT_CLEAN
     _emit(findings, args.format, sys.stdout)

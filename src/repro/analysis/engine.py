@@ -10,6 +10,7 @@ returns the surviving findings sorted by location.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
@@ -17,22 +18,27 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from repro.analysis.baseline import Baseline
+from repro.analysis.baseline import Baseline, BaselineEntry
 
 __all__ = [
+    "AnalysisReport",
     "Finding",
     "ParsedModule",
     "Suppression",
     "analyze_paths",
+    "analyze_paths_report",
     "analyze_source",
     "iter_python_files",
+    "parse_modules",
 ]
 
 # ``# repro: allow DET003 <reason>`` — one or more codes, comma-separated,
 # then a mandatory free-text reason (suppressions without a reason are
-# themselves reported, as SUP001).
+# themselves reported, as SUP001).  Anchored to the start of the comment
+# token so prose *mentioning* the syntax (like this block) never
+# registers as a suppression.
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*allow\s+([A-Z]+\d{3}(?:\s*,\s*[A-Z]+\d{3})*)(.*)$"
+    r"^#\s*repro:\s*allow\s+([A-Z]+\d{3}(?:\s*,\s*[A-Z]+\d{3})*)(.*)$"
 )
 
 
@@ -48,6 +54,8 @@ class Finding:
         message: what is wrong, specifically.
         hint: the checker's fix-it hint.
         line_text: the stripped source line (baseline fingerprint).
+        context_hash: path-independent digest of the code plus the
+            surrounding stripped lines (baseline v2 fingerprint).
     """
 
     code: str
@@ -57,6 +65,7 @@ class Finding:
     message: str
     hint: str
     line_text: str = ""
+    context_hash: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1} {self.code} {self.message}"
@@ -70,6 +79,7 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
             "line_text": self.line_text,
+            "context_hash": self.context_hash,
         }
 
 
@@ -111,12 +121,34 @@ class ParsedModule:
             return self.lines[line - 1].strip()
         return ""
 
+    def context_hash(self, code: str, line: int) -> str:
+        """Baseline-v2 fingerprint: code + surrounding stripped lines.
+
+        Deliberately excludes the path so renames/moves keep their
+        accepted findings covered.
+        """
+        digest = hashlib.sha256(
+            "\n".join((
+                code,
+                self.line_text(line - 1),
+                self.line_text(line),
+                self.line_text(line + 1),
+            )).encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
     def finding(
         self, code: str, node: ast.AST, message: str, hint: str
     ) -> Finding:
         """Build a finding anchored at ``node``."""
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
+        return self.finding_at(code, line, col, message, hint)
+
+    def finding_at(
+        self, code: str, line: int, col: int, message: str, hint: str
+    ) -> Finding:
+        """Build a finding anchored at an explicit line/col."""
         return Finding(
             code=code,
             path=self.path,
@@ -125,6 +157,7 @@ class ParsedModule:
             message=message,
             hint=hint,
             line_text=self.line_text(line),
+            context_hash=self.context_hash(code, line),
         )
 
     def is_suppressed(self, finding: Finding) -> bool:
@@ -197,16 +230,62 @@ def _display_path(path: Path, root: Path | None) -> str:
         return path.as_posix()
 
 
-def _run_catalog(modules: list[ParsedModule]) -> list[Finding]:
-    from repro.analysis.checkers import CATALOG, PROJECT_CATALOG
+def _worker_check(payload: tuple[str, str]) -> list[dict]:
+    """Process-pool body: per-module catalog over one source text.
+
+    Takes/returns only picklable primitives.  Suppressions, project
+    checkers and sorting stay in the parent so parallel output is
+    byte-identical to serial.
+    """
+    source, path = payload
+    module = ParsedModule.from_source(source, path)
+    from repro.analysis.checkers import CATALOG
 
     findings: list[Finding] = []
+    for checker in CATALOG:
+        findings.extend(checker.check(module))
+    return [finding.to_dict() for finding in findings]
+
+
+def _per_module_findings(
+    modules: list[ParsedModule], jobs: int
+) -> list[Finding]:
+    from repro.analysis.checkers import CATALOG
+
+    if jobs > 1 and len(modules) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        findings: list[Finding] = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            payloads = [(module.source, module.path) for module in modules]
+            # map() preserves input order, so findings arrive in the
+            # same path-sorted order the serial loop produces.
+            for result in pool.map(_worker_check, payloads):
+                findings.extend(Finding(**item) for item in result)
+        return findings
+    findings = []
     for module in modules:
         for checker in CATALOG:
             findings.extend(checker.check(module))
+    return findings
+
+
+def _run_catalog(
+    modules: list[ParsedModule],
+    project: bool = False,
+    jobs: int = 1,
+) -> list[Finding]:
+    from repro.analysis.checkers import PROJECT_CATALOG
+
+    findings = _per_module_findings(modules, jobs)
+    for module in modules:
         findings.extend(_suppression_hygiene(module))
     for checker in PROJECT_CATALOG:
         findings.extend(checker.check_project(modules))
+    if project:
+        from repro.analysis.dataflow import analyze_project
+
+        findings.extend(analyze_project(modules))
     kept = []
     by_path = {module.path: module for module in modules}
     for finding in findings:
@@ -216,6 +295,34 @@ def _run_catalog(modules: list[ParsedModule]) -> list[Finding]:
         kept.append(finding)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return kept
+
+
+def _stale_suppressions(modules: list[ParsedModule]) -> list[Finding]:
+    """SUP002: ``# repro: allow`` comments that suppressed nothing.
+
+    Reasonless or unknown-code suppressions are SUP001's business and
+    are skipped here; everything else that did not fire is dead weight
+    the suppression surface must shed.
+    """
+    from repro.analysis.checkers import known_codes
+
+    catalog = known_codes()
+    findings = []
+    for module in modules:
+        for suppression in module.suppressions:
+            if suppression.used or not suppression.reason:
+                continue
+            if any(code not in catalog for code in suppression.codes):
+                continue
+            findings.append(module.finding_at(
+                "SUP002",
+                suppression.line,
+                0,
+                f"suppression of {', '.join(suppression.codes)} matches "
+                f"no finding — the checker no longer fires here",
+                "delete the stale '# repro: allow' comment",
+            ))
+    return findings
 
 
 def _suppression_hygiene(module: ParsedModule) -> Iterator[Finding]:
@@ -267,24 +374,15 @@ def analyze_source(
     return kept
 
 
-def analyze_paths(
+def parse_modules(
     paths: Sequence[str | Path],
-    baseline: Baseline | None = None,
     root: str | Path | None = None,
-) -> list[Finding]:
-    """Parse and check every file under ``paths``.
-
-    Args:
-        paths: files and/or directories.
-        baseline: accepted pre-existing findings to subtract.
-        root: base for relative finding paths (default: cwd).
-
-    Returns:
-        New findings (not suppressed, not baselined), sorted by location.
+) -> list[ParsedModule]:
+    """Parse every file under ``paths`` in deterministic path order.
 
     Raises:
         SyntaxError: a file does not parse (the tree must at least
-            compile before it can be linted).
+            compile before it can be analyzed).
     """
     root_path = Path(root) if root is not None else None
     modules = []
@@ -295,7 +393,92 @@ def analyze_paths(
                 source, _display_path(file_path, root_path)
             )
         )
-    findings = _run_catalog(modules)
+    return modules
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced, for the CLI's extra surfaces."""
+
+    findings: list[Finding]
+    #: baseline entries that covered a finding (post-prune baseline)
+    baseline_used: list[BaselineEntry] = field(default_factory=list)
+    #: baseline entries that covered nothing (prune candidates)
+    baseline_stale: list[BaselineEntry] = field(default_factory=list)
+
+
+def analyze_paths_report(
+    paths: Sequence[str | Path],
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+    *,
+    project: bool = False,
+    jobs: int = 1,
+    baseline_path: str | None = None,
+) -> AnalysisReport:
+    """Parse and check every file under ``paths``.
+
+    Args:
+        paths: files and/or directories.
+        baseline: accepted pre-existing findings to subtract.
+        root: base for relative finding paths (default: cwd).
+        project: also run the interprocedural passes (symbol table,
+            call graph, taint dataflow, LOCK001/SEAL001).
+        jobs: worker processes for the per-module catalog (1 = serial;
+            output is byte-identical either way).
+        baseline_path: label used to anchor SUP002 findings for stale
+            baseline entries (no SUP002 for them when ``None``).
+
+    Returns:
+        An :class:`AnalysisReport`; ``findings`` holds new findings
+        (not suppressed, not baselined) plus SUP002 hygiene findings,
+        sorted by location.
+
+    Raises:
+        SyntaxError: a file does not parse (the tree must at least
+            compile before it can be linted).
+    """
+    modules = parse_modules(paths, root)
+    findings = _run_catalog(modules, project=project, jobs=jobs)
+    report = AnalysisReport(findings=findings)
     if baseline is not None:
-        findings = baseline.subtract(findings)
-    return findings
+        kept, stale, used = baseline.subtract_tracking(findings)
+        report.findings = kept
+        report.baseline_used = used
+        report.baseline_stale = stale
+        if baseline_path is not None:
+            for code, path, line_text, _context_hash in stale:
+                report.findings.append(Finding(
+                    code="SUP002",
+                    path=path,
+                    line=0,
+                    col=0,
+                    message=(
+                        f"baseline entry ({code}) {line_text!r} matches "
+                        f"no finding — prune it from {baseline_path}"
+                    ),
+                    hint=(
+                        "run with --prune-baseline to rewrite the "
+                        "baseline without dead entries"
+                    ),
+                    line_text=line_text,
+                ))
+    report.findings.extend(_stale_suppressions(modules))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+    *,
+    project: bool = False,
+    jobs: int = 1,
+    baseline_path: str | None = None,
+) -> list[Finding]:
+    """:func:`analyze_paths_report`, returning only the findings."""
+    return analyze_paths_report(
+        paths, baseline, root,
+        project=project, jobs=jobs, baseline_path=baseline_path,
+    ).findings

@@ -1,0 +1,22 @@
+"""CONC102 bad fixture: a pid parked in a dataclass field, then serialized.
+
+CONC002 only sees ``os.getpid()`` inside serializer bodies; here the
+pid is stashed in ``ShardState.owner`` during setup (line 15) and only
+serialized later (line 19).
+"""
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass
+class ShardState:
+    owner: int = 0
+
+
+def claim(state: ShardState) -> None:
+    state.owner = os.getpid()               # line 18: pid into the field
+
+
+def to_payload(state: ShardState) -> dict:
+    return {"owner": state.owner}           # line 22: field into the bytes

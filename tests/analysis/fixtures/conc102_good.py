@@ -1,0 +1,16 @@
+"""CONC102 good fixture: shard payloads keyed by stable shard id."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShardState:
+    owner: int = 0
+
+
+def claim(state: ShardState, shard_id: int) -> None:
+    state.owner = shard_id
+
+
+def to_payload(state: ShardState) -> dict:
+    return {"owner": state.owner}

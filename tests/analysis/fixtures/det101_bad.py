@@ -1,0 +1,22 @@
+"""DET101 bad fixture: wall-clock laundered two hops from the sink.
+
+The per-file DET001 only flags resolved ``time.time()`` *calls*; the
+bare reference on line 8 and the alias call on line 12 are invisible to
+it, yet the value still lands in serialized bytes (line 20).
+"""
+
+import time
+
+_ts_source = time.time                      # line 8: bare reference
+
+
+def _stamp() -> float:
+    return _ts_source()                     # line 12: called through alias
+
+
+def payload(value: float) -> dict:
+    return {"started": value}
+
+
+def to_payload() -> dict:
+    return payload(_stamp())                # line 20: reaches the sink

@@ -1,0 +1,14 @@
+"""DET101 good fixture: timestamps threaded from an injected clock."""
+
+
+def _stamp(clock) -> float:
+    # The clock is injected; nothing here reaches the wall clock.
+    return clock.now()
+
+
+def payload(value: float) -> dict:
+    return {"started": value}
+
+
+def to_payload(clock) -> dict:
+    return payload(_stamp(clock))

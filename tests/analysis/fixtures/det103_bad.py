@@ -1,0 +1,21 @@
+"""DET103 bad fixture: set order serialized two calls from the set.
+
+The set lives in a dataclass field; materializing it (line 15) needs
+receiver-type inference the per-file DET003 deliberately does not do,
+and the order only becomes serialized bytes in ``to_payload``.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Frontier:
+    pending: set = field(default_factory=set)
+
+
+def gather(frontier: Frontier):
+    return list(frontier.pending)           # line 17: order enters here
+
+
+def to_payload(frontier: Frontier) -> dict:
+    return {"pending": gather(frontier)}    # line 21: order escapes here

@@ -1,0 +1,16 @@
+"""DET103 good fixture: the set field is sorted where it is read."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Frontier:
+    pending: set = field(default_factory=set)
+
+
+def gather(frontier: Frontier):
+    return sorted(frontier.pending)
+
+
+def to_payload(frontier: Frontier) -> dict:
+    return {"pending": gather(frontier)}

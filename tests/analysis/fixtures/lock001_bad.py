@@ -1,0 +1,22 @@
+"""LOCK001 bad fixture: a wrapper mutates typed stats without the lock.
+
+CONC001 matches the ``.stats.`` spelling; this wrapper takes the stats
+object as a parameter, so only receiver-*type* inference sees that the
+write on line 17 is a shared-counter mutation.
+"""
+
+import threading
+
+
+class ClientStats:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+
+
+def bump_requests(counters: ClientStats) -> None:
+    counters.requests += 1                  # line 18: unguarded typed write
+
+
+def driver(counters: ClientStats) -> None:
+    bump_requests(counters)                 # line 22: the reaching caller

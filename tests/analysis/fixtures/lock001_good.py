@@ -1,0 +1,24 @@
+"""LOCK001 good fixture: mutations go through the lock-guarded API."""
+
+import threading
+
+
+class ClientStats:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+
+def bump_requests(counters: ClientStats) -> None:
+    counters.bump()
+
+
+def build() -> ClientStats:
+    # Construction-time writes on a not-yet-shared object are fine.
+    counters = ClientStats()
+    counters.requests = 0
+    return counters

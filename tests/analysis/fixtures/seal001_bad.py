@@ -1,0 +1,29 @@
+"""SEAL001 bad fixture: a store mutation reachable after seal().
+
+The mutation is one call away (lines 27→22), so no single-function
+check can see that ``late_add`` runs against a sealed store.
+"""
+
+
+class SealedCorpusError(RuntimeError):
+    pass
+
+
+class CorpusStore:
+    def _guard(self) -> None:
+        pass
+
+    def add_user(self, user) -> None:
+        self._guard()
+
+    def seal(self) -> "CorpusStore":
+        return self
+
+
+def late_add(store: CorpusStore, user) -> None:
+    store.add_user(user)                    # line 23: the mutation
+
+
+def main(store: CorpusStore) -> None:
+    store.seal()                            # line 27: sealed here
+    late_add(store, "user")                 # line 28: mutation reached

@@ -1,0 +1,25 @@
+"""SEAL001 good fixture: mutations happen before seal(), or guarded."""
+
+
+class SealedCorpusError(RuntimeError):
+    pass
+
+
+class CorpusStore:
+    def _guard(self) -> None:
+        pass
+
+    def add_user(self, user) -> None:
+        self._guard()
+
+    def seal(self) -> "CorpusStore":
+        return self
+
+
+def build(store: CorpusStore) -> None:
+    store.add_user("early")     # before seal: fine
+    store.seal()
+    try:
+        store.add_user("late")  # guarded: rejection is expected here
+    except SealedCorpusError:
+        pass

@@ -196,14 +196,15 @@ def test_suppression_fixture():
 
 def test_catalog_codes_are_unique_and_documented():
     from repro.analysis.checkers import CATALOG, PROJECT_CATALOG, known_codes
+    from repro.analysis.dataflow import FLOW_CATALOG
 
-    checkers = [*CATALOG, *PROJECT_CATALOG]
+    checkers = [*CATALOG, *PROJECT_CATALOG, *FLOW_CATALOG]
     codes = [c.code for c in checkers]
     assert len(codes) == len(set(codes))
     for checker in checkers:
         assert checker.rationale, checker.code
         assert checker.hint, checker.code
-    assert set(codes) | {"SUP001"} == known_codes()
+    assert set(codes) | {"SUP001", "SUP002"} == known_codes()
 
 
 @pytest.mark.parametrize(

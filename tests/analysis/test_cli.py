@@ -52,6 +52,42 @@ def test_live_tree_is_clean_modulo_committed_baseline():
     assert proc.returncode == EXIT_CLEAN, proc.stdout + proc.stderr
 
 
+def test_live_tree_project_pass_is_clean():
+    """The interprocedural gate: ``--project src/repro`` == 0."""
+    proc = run_module("src/repro", "--project")
+    assert proc.returncode == EXIT_CLEAN, proc.stdout + proc.stderr
+
+
+def test_parallel_output_is_byte_identical_to_serial():
+    serial = run_module("src/repro", "--no-baseline", "--format", "json")
+    parallel = run_module(
+        "src/repro", "--no-baseline", "--format", "json", "--jobs", "4"
+    )
+    assert serial.returncode == parallel.returncode
+    assert serial.stdout == parallel.stdout
+
+
+def test_dump_callgraph_json_and_dot(tmp_path):
+    target = tmp_path / "callgraph.json"
+    proc = run_module(
+        str(FIXTURES / "det101_bad.py"), "--dump-callgraph", str(target)
+    )
+    assert proc.returncode == EXIT_CLEAN, proc.stdout + proc.stderr
+    payload = json.loads(target.read_text())
+    assert payload["version"] == 1
+    edges = {(e["caller"], e["callee"]) for e in payload["edges"]}
+    assert ("det101_bad:to_payload", "det101_bad:_stamp") in edges
+
+    dot_target = tmp_path / "callgraph.dot"
+    proc = run_module(
+        str(FIXTURES / "det101_bad.py"), "--dump-callgraph", str(dot_target)
+    )
+    assert proc.returncode == EXIT_CLEAN
+    text = dot_target.read_text()
+    assert text.startswith("digraph callgraph {")
+    assert '"det101_bad:to_payload" -> "det101_bad:_stamp"' in text
+
+
 # ----------------------------------------------------------------------
 # In-process: formats, select, baseline workflow.
 # ----------------------------------------------------------------------
@@ -80,8 +116,22 @@ def test_list_checkers(capsys):
     assert rc == EXIT_CLEAN
     out = capsys.readouterr().out
     for code in ("DET001", "DET002", "DET003", "DET004",
-                 "CONC001", "CHK001", "SUP001"):
+                 "CONC001", "CHK001", "SUP001",
+                 "DET101", "DET103", "CONC102", "LOCK001", "SEAL001",
+                 "SUP002"):
         assert code in out
+
+
+def test_new_bad_fixtures_exit_one_under_project(tmp_path):
+    """Each new checker's bad fixture fails the --project gate (the CI
+    probe contract), and its good twin stays clean."""
+    for name in ("det101", "det103", "conc102", "lock001", "seal001"):
+        bad = main([str(FIXTURES / f"{name}_bad.py"), "--no-baseline",
+                    "--project"])
+        assert bad == EXIT_FINDINGS, name
+        good = main([str(FIXTURES / f"{name}_good.py"), "--no-baseline",
+                     "--project"])
+        assert good == EXIT_CLEAN, name
 
 
 def test_write_baseline_then_clean(tmp_path, capsys, monkeypatch):
@@ -101,6 +151,72 @@ def test_write_baseline_then_clean(tmp_path, capsys, monkeypatch):
     # A *new* finding is still caught against that baseline.
     bad.write_text("import time\nt = time.time()\nu = time.time_ns()\n")
     assert main([str(bad), "--baseline", str(baseline)]) == EXIT_FINDINGS
+
+
+def test_prune_baseline_drops_stale_entries(tmp_path, capsys):
+    """Entries that stop matching are reported (SUP002) then pruned."""
+    bad = tmp_path / "module.py"
+    bad.write_text("import time\nt = time.time()\nu = time.time_ns()\n")
+    baseline = tmp_path / "analysis-baseline.json"
+
+    assert main([str(bad), "--baseline", str(baseline),
+                 "--write-baseline"]) == EXIT_CLEAN
+    capsys.readouterr()
+
+    # Fix one of the two accepted findings: its entry goes stale.
+    bad.write_text("import time\nt = time.time()\n")
+    rc = main([str(bad), "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert rc == EXIT_FINDINGS
+    assert "SUP002" in out and "matches no finding" in out
+
+    assert main([str(bad), "--baseline", str(baseline),
+                 "--prune-baseline"]) == EXIT_CLEAN
+    assert "1 stale" in capsys.readouterr().out
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 2
+    assert len(payload["entries"]) == 1
+    assert payload["entries"][0]["line_text"] == "t = time.time()"
+    assert payload["entries"][0]["context_hash"]
+
+    # After pruning, the run is clean again.
+    assert main([str(bad), "--baseline", str(baseline)]) == EXIT_CLEAN
+
+
+def test_baseline_survives_file_rename(tmp_path, capsys):
+    """The v2 context hash keeps accepted findings across a move."""
+    old = tmp_path / "before.py"
+    old.write_text("import time\n\n\nt = time.time()\n")
+    baseline = tmp_path / "analysis-baseline.json"
+    assert main([str(old), "--baseline", str(baseline),
+                 "--write-baseline"]) == EXIT_CLEAN
+    capsys.readouterr()
+
+    new = tmp_path / "after.py"
+    new.write_text(old.read_text())
+    old.unlink()
+    assert main([str(new), "--baseline", str(baseline)]) == EXIT_CLEAN
+
+
+def test_v1_baseline_loads_transparently(tmp_path, capsys):
+    bad = tmp_path / "module.py"
+    bad.write_text("import time\nt = time.time()\n")
+    baseline = tmp_path / "analysis-baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "entries": [{
+            "code": "DET001",
+            "path": str(bad),
+            "line_text": "t = time.time()",
+        }],
+    }))
+    assert main([str(bad), "--baseline", str(baseline)]) == EXIT_CLEAN
+    # Pruning rewrites it as a fully-hashed v2 document.
+    assert main([str(bad), "--baseline", str(baseline),
+                 "--prune-baseline"]) == EXIT_CLEAN
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 2
+    assert payload["entries"][0]["context_hash"]
 
 
 def test_repro_cli_forwards_analyze_subcommand():
@@ -131,6 +247,32 @@ def test_injected_wall_clock_in_crawler_is_caught():
     )
     findings = analyze_source(sabotaged, "src/repro/crawler/frontier.py")
     assert [f.code for f in findings] == ["DET001"]
+
+
+def test_injected_laundered_wall_clock_in_crawler_caught_by_flow_only():
+    """The issue's acceptance control: a two-hop laundered time.time()
+    in a crawler module is DET101's catch and DET001's miss."""
+    from repro.analysis.dataflow import analyze_project
+    from repro.analysis.engine import ParsedModule
+
+    path = "src/repro/crawler/frontier.py"
+    source = (REPO_ROOT / path).read_text() + (
+        "\n\nimport json as _json\n"
+        "import time as _time\n\n"
+        "_ts_source = _time.time\n\n\n"
+        "def _stamp() -> float:\n"
+        "    return _ts_source()\n\n\n"
+        "def shard_banner(shard_id: int) -> str:\n"
+        "    return _json.dumps({'shard': shard_id, 'at': _stamp()})\n"
+    )
+    # Per-file catalog: no DET001 anywhere in the sabotaged module.
+    assert analyze_source(source, path) == []
+    # Interprocedural pass: DET101 with the full chain.
+    module = ParsedModule.from_source(source, path)
+    findings = analyze_project([module])
+    assert [f.code for f in findings] == ["DET101"]
+    assert "time.time aliased as _ts_source" in findings[0].message
+    assert "json.dumps" in findings[0].message
 
 
 def test_injected_set_serialization_in_checkpoint_is_caught():

@@ -150,7 +150,7 @@ def test_baseline_save_load_round_trip(tmp_path: Path):
     assert loaded.to_payload() == baseline.to_payload()
     # The on-disk form is deterministic (sorted keys, trailing newline).
     assert target.read_text().endswith("\n")
-    assert json.loads(target.read_text())["version"] == 1
+    assert json.loads(target.read_text())["version"] == 2
 
 
 def test_baseline_rejects_bad_documents(tmp_path: Path):
@@ -162,6 +162,106 @@ def test_baseline_rejects_bad_documents(tmp_path: Path):
     broken.write_text("{not json")
     with pytest.raises(ValueError):
         Baseline.load(broken)
+
+
+# ----------------------------------------------------------------------
+# SUP002 — the suppression surface may only shrink.
+# ----------------------------------------------------------------------
+
+def _analyze_file(tmp_path: Path, source: str, **kwargs):
+    from repro.analysis.engine import analyze_paths
+
+    target = tmp_path / "module.py"
+    target.write_text(source)
+    return analyze_paths([target], root=tmp_path, **kwargs)
+
+
+def test_stale_suppression_reports_sup002(tmp_path: Path):
+    findings = _analyze_file(
+        tmp_path,
+        "x = 1  # repro: allow DET001 left over from a removed call\n",
+    )
+    assert [(f.code, f.line) for f in findings] == [("SUP002", 1)]
+    assert "matches no finding" in findings[0].message
+
+
+def test_used_suppression_is_not_stale(tmp_path: Path):
+    findings = _analyze_file(
+        tmp_path,
+        "import time\n"
+        "t = time.time()  # repro: allow DET001 diagnostics only\n",
+    )
+    assert findings == []
+
+
+def test_reasonless_suppression_is_sup001_not_sup002(tmp_path: Path):
+    findings = _analyze_file(
+        tmp_path, "import time\nt = time.time()  # repro: allow DET001\n"
+    )
+    assert sorted(f.code for f in findings) == ["DET001", "SUP001"]
+
+
+def test_prose_mentioning_the_syntax_is_not_a_suppression(tmp_path: Path):
+    findings = _analyze_file(
+        tmp_path,
+        "# about ``# repro: allow DET003 <reason>`` comments\n"
+        "x = 1\n",
+    )
+    assert findings == []
+
+
+def test_analyze_source_does_not_report_sup002():
+    # Single-string analysis is for editors/tests; only full runs
+    # police the suppression surface.
+    findings = analyze_source(
+        "x = 1  # repro: allow DET001 left over from a removed call\n"
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Baseline v2: context hashes, stale tracking.
+# ----------------------------------------------------------------------
+
+def test_context_hash_is_path_independent():
+    source = "import time\nt = time.time()\n"
+    a = ParsedModule.from_source(source, "a/old.py")
+    b = ParsedModule.from_source(source, "b/new.py")
+    assert a.context_hash("DET001", 2) == b.context_hash("DET001", 2)
+    assert a.context_hash("DET001", 2) != a.context_hash("DET002", 2)
+
+
+def test_baseline_falls_back_to_context_hash_on_rename():
+    moved = _finding(path="y/renamed.py")
+    hashed = Finding(**{**moved.to_dict(), "context_hash": "abc123"})
+    original = Finding(
+        **{**_finding().to_dict(), "context_hash": "abc123"}
+    )
+    baseline = Baseline.from_findings([original])
+    assert baseline.subtract([hashed]) == []
+
+
+def test_baseline_subtract_tracking_reports_stale_and_used():
+    covered = _finding()
+    baseline = Baseline.from_findings(
+        [covered, _finding(code="DET002", text="gone = time.time()")]
+    )
+    kept, stale, used = baseline.subtract_tracking([covered])
+    assert kept == []
+    assert [entry[0] for entry in stale] == ["DET002"]
+    assert [entry[0] for entry in used] == ["DET001"]
+
+
+def test_baseline_v1_payload_still_loads():
+    baseline = Baseline.from_payload({
+        "version": 1,
+        "entries": [
+            {"code": "DET001", "path": "x.py", "line_text": "t = 1"}
+        ],
+    })
+    assert len(baseline) == 1
+    # Saving always writes v2.
+    assert baseline.to_payload()["version"] == 2
 
 
 # ----------------------------------------------------------------------
