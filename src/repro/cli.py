@@ -10,6 +10,9 @@ Commands:
 ``score``
     Score text (stdin or arguments) with the dictionary, the Perspective
     models, and optionally the SVM classifier.
+``diffuse``
+    Seeded independent-cascade hate-diffusion simulation over the
+    crawled follow graph (Mathew et al.'s workload on the CSR engine).
 """
 
 from __future__ import annotations
@@ -142,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "across runs of the same world; extras excluded)")
     run.add_argument("--with-faults", action="store_true",
                      help="inject transport faults (exercises retries)")
+    run.add_argument("--nx-oracle", action="store_true",
+                     help="route the §4.5 social analyses through the "
+                          "networkx oracle instead of the CSR graph engine "
+                          "(requires the 'nx' extra; the report is "
+                          "bit-identical either way — CI diffs the two)")
     _add_crawl_engine_flags(run)
     _add_resume_flags(run)
 
@@ -213,6 +221,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="mean virtual think time between requests")
     loadgen.add_argument("--out", type=Path, default=None,
                          help="also write the summary to this file")
+
+    diffuse = sub.add_parser(
+        "diffuse",
+        help="seeded independent-cascade hate-diffusion simulation over "
+             "the crawled follow graph",
+    )
+    diffuse.add_argument("--scale", type=float, default=0.002,
+                         help="world scale (1.0 = the paper's sizes)")
+    diffuse.add_argument("--seed", type=int, default=42, help="world seed")
+    diffuse.add_argument("--workers", type=int, default=0,
+                         help="scoring-pass worker threads (0 = serial)")
+    diffuse.add_argument("--seeds", type=int, default=10, metavar="K",
+                         help="seed-set size for the top-degree and random "
+                              "strategies (default 10)")
+    diffuse.add_argument("--rounds", type=int, default=20,
+                         help="cascade round cap (default 20)")
+    diffuse.add_argument("--base-p", type=float, default=0.05,
+                         help="base per-edge activation probability")
+    diffuse.add_argument("--tox-weight", type=float, default=0.25,
+                         help="weight of the source's median toxicity on "
+                              "the edge activation probability")
+    diffuse.add_argument("--diffusion-seed", type=int, default=0,
+                         help="cascade RNG seed (independent of the world "
+                              "seed; the report is a pure function of both)")
+    diffuse.add_argument("--json", type=Path, default=None, metavar="FILE",
+                         help="write the full diffusion report as JSON "
+                              "('-' for stdout)")
     return parser
 
 
@@ -235,6 +270,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store_dir=str(args.store_dir) if args.store_dir is not None else None,
         segment_records=args.segment_records,
         columns=not args.no_columns,
+        nx_oracle=args.nx_oracle,
     )
     print(f"world: {pipeline.world.summary()}", file=sys.stderr)
     default_state = Path(
@@ -430,6 +466,42 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diffuse(args: argparse.Namespace) -> int:
+    from repro.core.socialnet import (
+        extract_hateful_core,
+        per_user_activity_toxicity,
+    )
+    from repro.graph import run_diffusion
+
+    pipeline = ReproductionPipeline(_config(args), workers=args.workers)
+    print(f"world: {pipeline.world.summary()}", file=sys.stderr)
+    artifacts = pipeline.stage_crawl()
+    score_store = pipeline.stage_score(artifacts)
+    counts, toxicity = per_user_activity_toxicity(
+        artifacts.corpus, artifacts.gab_ids, score_store
+    )
+    core = extract_hateful_core(artifacts.graph, counts, toxicity)
+    report = run_diffusion(
+        artifacts.graph,
+        toxicity,
+        core_members=core.members,
+        n_seeds=args.seeds,
+        base_p=args.base_p,
+        tox_weight=args.tox_weight,
+        max_rounds=args.rounds,
+        seed=args.diffusion_seed,
+    )
+    print(report.summary_text())
+    if args.json is not None:
+        text = json.dumps(report.to_payload(), indent=1, sort_keys=True) + "\n"
+        if str(args.json) == "-":
+            sys.stdout.write(text)
+        else:
+            args.json.write_text(text, encoding="utf-8")
+            print(f"JSON report written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.viz.figures import render_all_figures
 
@@ -458,6 +530,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "diffuse": _cmd_diffuse,
     }
     return handlers[args.command](args)
 

@@ -130,7 +130,7 @@ class CrawlArtifacts:
     validation: ValidationReport
     youtube_crawl: YouTubeCrawlResult
     reddit_match: RedditMatchResult
-    graph: object                      # induced Dissenter follow graph
+    graph: object                      # induced Dissenter follow CSRGraph
     active_ids: list[int]
     gab_ids: dict[str, int]            # username -> Gab ID
     baseline_texts: dict[str, list[str]]
@@ -210,6 +210,11 @@ class ReproductionPipeline:
             the record-dict analysis path (the oracle the columnar path
             is tested against); every report number is identical either
             way.
+        nx_oracle: route the §4.5 social analyses through
+            ``graph.to_networkx()`` instead of the CSR engine (the
+            oracle path; requires the ``nx`` extra).  Every report
+            number is identical either way — the CI graph-parity step
+            diffs the two JSON reports.
     """
 
     def __init__(
@@ -223,6 +228,7 @@ class ReproductionPipeline:
         store_dir: str | None = None,
         segment_records: int = 4096,
         columns: bool = True,
+        nx_oracle: bool = False,
     ):
         self.world = world or build_world(config)
         self.origins: Origins = build_origins(
@@ -236,6 +242,7 @@ class ReproductionPipeline:
         self.store_dir = store_dir
         self.segment_records = int(segment_records)
         self.columns = bool(columns)
+        self.nx_oracle = bool(nx_oracle)
         self._pools: dict[str, FetchPool] = {}
 
     def _new_store(self) -> CorpusStore:
@@ -542,6 +549,9 @@ class ReproductionPipeline:
         comment_counts, median_toxicity = per_user_activity_toxicity(
             corpus, artifacts.gab_ids, self.store
         )
+        graph = artifacts.graph
+        if self.nx_oracle:
+            graph = graph.to_networkx()
         report = ReproductionReport(
             gab_enumeration=artifacts.gab_enumeration,
             corpus=corpus,
@@ -576,9 +586,9 @@ class ReproductionPipeline:
                 corpus=corpus,
             ),
             bias=analyze_bias(corpus, self.store),
-            social=analyze_social_network(artifacts.graph, median_toxicity),
+            social=analyze_social_network(graph, median_toxicity),
             hateful_core=extract_hateful_core(
-                artifacts.graph, comment_counts, median_toxicity
+                graph, comment_counts, median_toxicity
             ),
         )
         report.extras["active_gab_ids"] = artifacts.active_ids

@@ -1,9 +1,19 @@
 """Social network analysis (§4.5, Figure 9) and the hateful core.
 
-Operates on the induced Dissenter follow graph (a ``networkx.DiGraph``
-over Gab IDs, built by :func:`repro.crawler.social_crawl.
-induce_dissenter_graph`) plus per-user activity and toxicity measured
-from the crawl.
+Operates on the induced Dissenter follow graph — a
+:class:`~repro.graph.csr.CSRGraph` built by :func:`repro.crawler.
+social_crawl.induce_dissenter_graph` — plus per-user activity and
+toxicity measured from the crawl.
+
+Every analysis here is implemented twice behind a type dispatch: the
+vectorized CSR reductions (degrees, isolated fraction, deterministic
+top-K, sorted-pair mutual-edge intersection, iterative connected
+components) and the historical networkx implementation, kept as the
+oracle.  Passing ``graph.to_networkx()`` instead of the CSR graph must
+serialize a byte-identical report — the CI graph-parity step and
+``tests/graph/`` enforce exactly that, mirroring the columnar layer's
+``--no-columns`` oracle contract.  networkx itself is an optional
+``[nx]`` extra and only imported on the oracle path.
 
 The hateful core follows the paper's §4.5.1 criterion exactly: the
 subgraph induced on pairs (a, b) such that a and b are mutual followers,
@@ -17,12 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-import networkx as nx
 import numpy as np
 
 from repro.core.scoring import ScoreStore
-from repro.store import Corpus
+from repro.graph.csr import CSRGraph
 from repro.stats.powerlaw import PowerLawFit, fit_discrete_powerlaw
+from repro.store import Corpus
 
 __all__ = [
     "HatefulCore",
@@ -122,24 +132,46 @@ def _toxicity_buckets(
     }
 
 
+def _top_k(degrees: Mapping[int, int], top_k: int) -> list[tuple[int, int]]:
+    """Top-``top_k`` (gab_id, degree) sorted by (-degree, gab_id).
+
+    The secondary ascending-ID key makes the ordering total: equal
+    degrees previously kept dict insertion order, which made the report
+    lines a function of node order rather than of the graph.
+    """
+    return sorted(degrees.items(), key=lambda x: (-x[1], x[0]))[:top_k]
+
+
 def analyze_social_network(
-    graph: nx.DiGraph,
+    graph: CSRGraph,
     user_toxicity: Mapping[int, float] | None = None,
     top_k: int = 10,
 ) -> SocialNetworkAnalysis:
     """Compute Fig. 9's degree and toxicity relationships.
 
     Args:
-        graph: induced Dissenter follow graph (nodes = Gab IDs).
+        graph: induced Dissenter follow graph (nodes = Gab IDs); a
+            ``networkx.DiGraph`` routes through the oracle path and
+            serializes identically.
         user_toxicity: per-user median comment toxicity (for Figs. 9b/9c).
         top_k: how many top-degree users to report.
     """
-    in_deg = dict(graph.in_degree())
-    out_deg = dict(graph.out_degree())
-    nodes = list(graph.nodes)
-    in_arr = np.asarray([in_deg[n] for n in nodes], dtype=int)
-    out_arr = np.asarray([out_deg[n] for n in nodes], dtype=int)
-    isolated = int(((in_arr == 0) & (out_arr == 0)).sum())
+    if isinstance(graph, CSRGraph):
+        nodes = graph.nodes
+        in_arr = graph.in_degrees().astype(int, copy=False)
+        out_arr = graph.out_degrees().astype(int, copy=False)
+        isolated = graph.isolated_count()
+        top_in = graph.top_k_by_degree(in_arr, top_k)
+        top_out = graph.top_k_by_degree(out_arr, top_k)
+    else:
+        in_deg = dict(graph.in_degree())
+        out_deg = dict(graph.out_degree())
+        nodes = list(graph.nodes)
+        in_arr = np.asarray([in_deg[n] for n in nodes], dtype=int)
+        out_arr = np.asarray([out_deg[n] for n in nodes], dtype=int)
+        isolated = int(((in_arr == 0) & (out_arr == 0)).sum())
+        top_in = _top_k(in_deg, top_k)
+        top_out = _top_k(out_deg, top_k)
 
     def fit_or_none(values: np.ndarray) -> PowerLawFit | None:
         try:
@@ -152,27 +184,48 @@ def analyze_social_network(
         isolated_users=isolated,
         in_degrees=in_arr,
         out_degrees=out_arr,
-        top_in=sorted(in_deg.items(), key=lambda x: -x[1])[:top_k],
-        top_out=sorted(out_deg.items(), key=lambda x: -x[1])[:top_k],
+        top_in=top_in,
+        top_out=top_out,
         in_degree_fit=fit_or_none(in_arr),
         out_degree_fit=fit_or_none(out_arr),
     )
     if user_toxicity is not None:
-        analysis.toxicity_by_in_degree = _toxicity_buckets(in_deg, user_toxicity)
+        # Bucket grouping walks the degree maps in canonical node order
+        # on both paths, so the float reductions see identical operand
+        # order and the payloads stay byte-comparable.
+        in_by_id = dict(zip(nodes, in_arr.tolist()))
+        out_by_id = dict(zip(nodes, out_arr.tolist()))
+        analysis.toxicity_by_in_degree = _toxicity_buckets(
+            in_by_id, user_toxicity
+        )
         analysis.toxicity_by_out_degree = _toxicity_buckets(
-            out_deg, user_toxicity
+            out_by_id, user_toxicity
         )
     return analysis
 
 
 @dataclass
 class HatefulCore:
-    """§4.5.1's hateful core."""
+    """§4.5.1's hateful core.
 
-    members: set[int]
+    ``members`` is a sorted tuple — not a set — so anything that
+    serializes the core (the report payload, ``/api/core``) can never
+    inherit hash order; ``in core`` still answers membership through
+    the frozen view.
+    """
+
+    members: tuple[int, ...]                 # sorted Gab IDs
     component_sizes: list[int]               # descending
-    subgraph: nx.Graph
+    subgraph: object                         # mutual-edge CSRGraph (or nx oracle graph)
     qualifying_users: int                    # met activity+toxicity criteria
+
+    def __contains__(self, gab_id: int) -> bool:
+        return gab_id in self.member_set
+
+    @property
+    def member_set(self) -> frozenset[int]:
+        """Membership view (kept off the serialization paths)."""
+        return frozenset(self.members)
 
     @property
     def size(self) -> int:
@@ -187,8 +240,24 @@ class HatefulCore:
         return self.component_sizes[0] if self.component_sizes else 0
 
 
+def _qualifying_mask(
+    graph: CSRGraph,
+    comment_counts: Mapping[int, int],
+    median_toxicity: Mapping[int, float],
+    min_comments: int,
+    min_toxicity: float,
+) -> np.ndarray:
+    mask = np.zeros(graph.n_nodes, dtype=bool)
+    for index, gab_id in enumerate(graph.node_ids.tolist()):
+        mask[index] = (
+            comment_counts.get(gab_id, 0) >= min_comments
+            and median_toxicity.get(gab_id, 0.0) >= min_toxicity
+        )
+    return mask
+
+
 def extract_hateful_core(
-    graph: nx.DiGraph,
+    graph: CSRGraph,
     comment_counts: Mapping[int, int],
     median_toxicity: Mapping[int, float],
     min_comments: int = 100,
@@ -199,24 +268,54 @@ def extract_hateful_core(
     Users qualify with >= ``min_comments`` comments and median toxicity
     >= ``min_toxicity``; the core is the set of qualifying users joined
     by *mutual* follow edges to another qualifying user.
+
+    On a :class:`CSRGraph` the mutual edges come from one sorted-key
+    intersection over the CSR rows and the components from the engine's
+    iterative union-find; a networkx graph routes through the historical
+    edge loop.  Both serialize identically through the report payload.
     """
-    qualifying = {
+    if isinstance(graph, CSRGraph):
+        qualifying = _qualifying_mask(
+            graph, comment_counts, median_toxicity, min_comments, min_toxicity
+        )
+        src, dst = graph.mutual_pairs()
+        keep = qualifying[src] & qualifying[dst] & (src != dst)
+        src, dst = src[keep], dst[keep]
+        # The mutual subgraph keeps both directions (it is undirected in
+        # the paper; symmetric CSR rows model that exactly).
+        mutual = graph.subgraph_from_index_edges(
+            np.concatenate([src, dst]), np.concatenate([dst, src])
+        )
+        members = tuple(mutual.nodes)
+        components = mutual.component_sizes()
+        return HatefulCore(
+            members=members,
+            component_sizes=components,
+            subgraph=mutual,
+            qualifying_users=int(qualifying.sum()),
+        )
+
+    import networkx as nx
+
+    qualifying_ids = {
         node
         for node in graph.nodes
         if comment_counts.get(node, 0) >= min_comments
         and median_toxicity.get(node, 0.0) >= min_toxicity
     }
-    mutual = nx.Graph()
+    mutual_nx = nx.Graph()
     for a, b in graph.edges:
-        if a in qualifying and b in qualifying and graph.has_edge(b, a):
-            mutual.add_edge(a, b)
-    members = set(mutual.nodes)
+        if a == b:
+            continue
+        if a in qualifying_ids and b in qualifying_ids and graph.has_edge(b, a):
+            mutual_nx.add_edge(a, b)
+    members = tuple(sorted(mutual_nx.nodes))
     components = sorted(
-        (len(c) for c in nx.connected_components(mutual)), reverse=True
+        (len(c) for c in nx.connected_components(mutual_nx)), reverse=True
     )
     return HatefulCore(
         members=members,
         component_sizes=components,
-        subgraph=mutual,
-        qualifying_users=len(qualifying),
+        subgraph=mutual_nx,
+        qualifying_users=len(qualifying_ids),
     )

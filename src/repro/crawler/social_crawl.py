@@ -8,7 +8,10 @@ guarantees complete lists.
 
 The induced *Dissenter* graph (edges between Dissenter users only) is
 produced afterwards by :func:`induce_dissenter_graph` — the raw lists
-contain plenty of non-Dissenter Gab accounts that must be filtered.
+contain plenty of non-Dissenter Gab accounts that must be filtered.  The
+graph is a :class:`~repro.graph.csr.CSRGraph` (numpy CSR adjacency);
+callers that need networkx go through its ``to_networkx()`` escape
+hatch.
 """
 
 from __future__ import annotations
@@ -16,9 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-import networkx as nx
-
 from repro.crawler.checkpoint import CrawlCheckpoint, coerce_checkpoint
+from repro.graph.csr import CSRGraph, csr_from_follow_records
 from repro.crawler.runtime import Checkpointer
 from repro.net.client import HttpClient
 from repro.net.cookies import CookieJar
@@ -186,29 +188,16 @@ class SocialGraphCrawler:
 def induce_dissenter_graph(
     crawl: SocialCrawlResult,
     dissenter_gab_ids: Iterable[int],
-) -> nx.DiGraph:
+) -> CSRGraph:
     """Induce the Dissenter-only directed follow graph.
 
     Nodes are the given Dissenter users' Gab IDs (all of them, including
     isolated users — §4.5.1 counts users with no edges).  An edge u -> v
     means u follows v; edges touching non-Dissenter accounts are dropped.
+
+    The CSR node order is sorted Gab IDs — the same canonical order the
+    historical networkx build enforced on insertion — so degree arrays
+    and tie-broken top-K report lines are unchanged by the engine swap.
+    ``graph.to_networkx()`` reconstructs the old representation.
     """
-    members = set(dissenter_gab_ids)
-    graph = nx.DiGraph()
-    # Insert nodes in sorted order: networkx iterates nodes in insertion
-    # order, and that order flows into degree arrays and tie-broken
-    # top-K report lines — set order must never reach them.
-    graph.add_nodes_from(sorted(members))
-    for target, followers in crawl.followers.items():
-        if target not in members:
-            continue
-        for source in followers:
-            if source in members:
-                graph.add_edge(source, target)
-    for source, targets in crawl.following.items():
-        if source not in members:
-            continue
-        for target in targets:
-            if target in members:
-                graph.add_edge(source, target)
-    return graph
+    return csr_from_follow_records(crawl, dissenter_gab_ids)

@@ -116,6 +116,12 @@ class ServeApp(App):
         score_store: shared score store for the toxicity summary
             endpoints; ``None`` makes them answer 503.
         core_members: usernames in the §4.5.1 hateful core.
+        diffusion: precomputed hate-diffusion summary payload
+            (:meth:`~repro.graph.diffusion.DiffusionReport.to_payload`);
+            ``None`` makes ``/api/diffusion/summary`` answer 503.  The
+            cascade is a pure function of (corpus, parameters), so the
+            bootstrap computes it once and the endpoint just serves the
+            frozen payload.
         cache_entries: LRU render-cache capacity.
         rate: per-client token-bucket refill rate (requests/second).
         capacity: per-client burst allowance.
@@ -143,6 +149,7 @@ class ServeApp(App):
         clock: Clock,
         score_store=None,
         core_members: tuple[str, ...] | list[str] = (),
+        diffusion: dict | None = None,
         cache_entries: int = 4096,
         rate: float = 5.0,
         capacity: float = 20.0,
@@ -156,6 +163,7 @@ class ServeApp(App):
         self._scores = score_store
         self._core_sorted = sorted(set(core_members))
         self._core = frozenset(self._core_sorted)
+        self._diffusion = diffusion
         self._manifest_hash = corpus_manifest_hash(corpus)
         self._cache = RenderCache(cache_entries)
         self._limiter = KeyedRateLimiter(
@@ -172,6 +180,7 @@ class ServeApp(App):
         self.get("/api/summary/user/{username}")(self._summary_user)
         self.get("/api/core")(self._core_listing)
         self.get("/api/core/{username}")(self._core_membership)
+        self.get("/api/diffusion/summary")(self._diffusion_summary)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -443,3 +452,14 @@ class ServeApp(App):
         return Response.json_response(
             {"username": username, "member": username in self._core}
         )
+
+    # -- hate diffusion ---------------------------------------------------
+
+    def _diffusion_summary(
+        self, request: Request, params: dict[str, str]
+    ) -> Response:
+        if self._diffusion is None:
+            return Response.json_response(
+                {"error": "no diffusion summary attached"}, 503
+            )
+        return Response.json_response(self._diffusion)

@@ -7,6 +7,12 @@ analyses the read API does not expose.  :func:`build_serve_stack` does
 that once and mounts a :class:`~repro.serve.api.ServeApp` over the
 result on a *fresh* virtual clock, so the serve timeline starts at the
 epoch regardless of how long the crawl took.
+
+The hate-diffusion summary served at ``/api/diffusion/summary`` is also
+precomputed here: one seeded independent-cascade run over the induced
+follow graph (core-seeded, top-degree-seeded and random-seeded), frozen
+into a payload dict.  Deterministic inputs, fixed seed — the endpoint
+body is a pure function of (scale, seed).
 """
 
 from __future__ import annotations
@@ -15,7 +21,13 @@ from dataclasses import dataclass
 
 from repro.core.pipeline import CrawlArtifacts, ReproductionPipeline
 from repro.core.scoring import ScoreStore
-from repro.core.socialnet import extract_hateful_core, per_user_activity_toxicity
+from repro.core.socialnet import (
+    HatefulCore,
+    extract_hateful_core,
+    per_user_activity_toxicity,
+)
+from repro.graph import run_diffusion
+from repro.graph.csr import CSRGraph
 from repro.net.clock import VirtualClock
 from repro.net.transport import LoopbackTransport
 from repro.platform.config import WorldConfig
@@ -23,6 +35,16 @@ from repro.serve.api import ServeApp
 from repro.store import CorpusStore
 
 __all__ = ["ServeStack", "build_serve_stack", "core_usernames"]
+
+#: Fixed seed for the precomputed serve-side diffusion summary.
+DIFFUSION_SEED = 11
+
+
+def _usernames_for(core: HatefulCore, artifacts: CrawlArtifacts) -> list[str]:
+    by_id = {gab_id: name for name, gab_id in artifacts.gab_ids.items()}
+    return sorted(
+        by_id[member] for member in core.members if member in by_id
+    )
 
 
 def core_usernames(artifacts: CrawlArtifacts, score_store: ScoreStore) -> list[str]:
@@ -35,10 +57,7 @@ def core_usernames(artifacts: CrawlArtifacts, score_store: ScoreStore) -> list[s
         artifacts.corpus, artifacts.gab_ids, score_store
     )
     core = extract_hateful_core(artifacts.graph, counts, toxicity)
-    by_id = {gab_id: name for name, gab_id in artifacts.gab_ids.items()}
-    return sorted(
-        by_id[member] for member in core.members if member in by_id
-    )
+    return _usernames_for(core, artifacts)
 
 
 @dataclass
@@ -51,6 +70,8 @@ class ServeStack:
     corpus: CorpusStore
     score_store: ScoreStore
     core_members: list[str]
+    core: HatefulCore | None = None
+    diffusion: dict | None = None
 
 
 def build_serve_stack(
@@ -67,8 +88,8 @@ def build_serve_stack(
 
     Args:
         scale: world scale factor (0.002 is the tier-1 test scale).
-        seed: world seed; the corpus, scores, and core are all
-            deterministic functions of (scale, seed).
+        seed: world seed; the corpus, scores, core and diffusion summary
+            are all deterministic functions of (scale, seed).
         store_dir: spill directory for sealed segments (refs-only
             snapshots make the manifest hash cheap); None keeps
             segments inline.
@@ -86,7 +107,17 @@ def build_serve_stack(
     )
     artifacts = pipeline.stage_crawl()
     score_store = pipeline.stage_score(artifacts)
-    members = core_usernames(artifacts, score_store)
+    counts, toxicity = per_user_activity_toxicity(
+        artifacts.corpus, artifacts.gab_ids, score_store
+    )
+    core = extract_hateful_core(artifacts.graph, counts, toxicity)
+    members = _usernames_for(core, artifacts)
+    graph = artifacts.graph
+    diffusion = None
+    if isinstance(graph, CSRGraph):
+        diffusion = run_diffusion(
+            graph, toxicity, core_members=core.members, seed=DIFFUSION_SEED
+        ).to_payload()
     corpus = artifacts.corpus
     if not isinstance(corpus, CorpusStore):
         raise TypeError("pipeline produced a legacy corpus; expected CorpusStore")
@@ -97,6 +128,7 @@ def build_serve_stack(
         clock,
         score_store=score_store,
         core_members=members,
+        diffusion=diffusion,
         cache_entries=cache_entries,
         rate=rate,
         capacity=capacity,
@@ -109,4 +141,6 @@ def build_serve_stack(
         corpus=corpus,
         score_store=score_store,
         core_members=members,
+        core=core,
+        diffusion=diffusion,
     )
